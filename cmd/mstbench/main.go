@@ -1,0 +1,130 @@
+// Command mstbench regenerates the tables and figures of the paper's
+// experimental study (§5). Each experiment prints an aligned text table
+// whose rows correspond to the published plot/table.
+//
+// Usage:
+//
+//	mstbench -exp table2|fig8|fig9|q1|q2|q3|all [flags]
+//
+// The default flags run a scaled-down study that finishes in minutes;
+// -paper switches to the published scale (273 trucks / 112K segments for
+// the quality study; S0100…S1000 with ~2000 samples per object and 500
+// queries per setting for the performance study).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mstsearch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation or all")
+		paper   = flag.Bool("paper", false, "run at the paper's full scale (slow)")
+		scale   = flag.Float64("scale", 0.25, "Trucks dataset scale in (0,1] for fig8/fig9/table2")
+		samples = flag.Int("samples", 501, "samples per synthetic object (paper: 2001)")
+		queries = flag.Int("queries", 50, "queries per performance setting (paper: 500)")
+		qf      = flag.Int("qualityqueries", 40, "queries per fig9 p-value (0 = all trajectories)")
+		seed    = flag.Int64("seed", 2007, "generator seed")
+		verbose = flag.Bool("v", false, "print progress")
+		withSTR = flag.Bool("str", false, "add the STR-tree as a third series in Q1-Q3")
+	)
+	flag.Parse()
+
+	if *paper {
+		*scale = 1
+		*samples = 2001
+		*queries = 500
+		*qf = 0
+	}
+
+	run := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "# "+s) }
+	}
+
+	any := false
+	if run("table2") {
+		any = true
+		cards := []int{100, 250, 500, 1000}
+		if !*paper {
+			cards = []int{25, 50, 100, 200}
+			fmt.Printf("(scaled: cardinalities %v, %d samples/object — use -paper for S0100..S1000)\n", cards, *samples)
+		}
+		rows, err := experiments.RunTable2(cards, *samples, *scale, *seed)
+		fail(err)
+		experiments.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("fig8") {
+		any = true
+		rows := experiments.RunCompression(experiments.QualityConfig{Scale: *scale, Seed: *seed})
+		experiments.PrintCompression(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("fig9") {
+		any = true
+		rows := experiments.RunQuality(experiments.QualityConfig{
+			Scale:      *scale,
+			NumQueries: *qf,
+			Seed:       *seed,
+		})
+		experiments.PrintQuality(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("ablation") {
+		any = true
+		card := 100
+		if *paper {
+			card = 500
+		}
+		rows, err := experiments.RunAblation(experiments.PerfConfig{
+			SamplesPerObject: *samples,
+			Seed:             *seed,
+		}, card, *queries, 0.05)
+		fail(err)
+		experiments.PrintAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	perf := experiments.NewRunner(experiments.PerfConfig{
+		SamplesPerObject: *samples,
+		NumQueries:       *queries,
+		Seed:             *seed,
+		IncludeSTRTree:   *withSTR,
+	})
+	perf.Progress = progress
+	for _, qs := range experiments.PaperQuerySettings() {
+		if !run(qs.Name) {
+			continue
+		}
+		any = true
+		if !*paper && qs.Name == "Q1" {
+			qs.Cardinalities = []int{25, 50, 100, 200}
+			fmt.Printf("(scaled: cardinalities %v — use -paper for S0100..S1000)\n", qs.Cardinalities)
+		}
+		if !*paper && (qs.Name == "Q2" || qs.Name == "Q3") {
+			qs.Cardinalities = []int{100}
+		}
+		rows, err := perf.Run(qs)
+		fail(err)
+		experiments.PrintPerf(os.Stdout, qs.Name, rows)
+		fmt.Println()
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+}

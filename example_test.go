@@ -1,0 +1,79 @@
+package mstsearch_test
+
+import (
+	"fmt"
+
+	"mstsearch"
+)
+
+// square builds a deterministic little fleet: three objects moving along
+// parallel lines during [0, 10].
+func square() []mstsearch.Trajectory {
+	mk := func(id mstsearch.ID, y float64) mstsearch.Trajectory {
+		tr := mstsearch.Trajectory{ID: id}
+		for i := 0; i <= 10; i++ {
+			tr.Samples = append(tr.Samples, mstsearch.Sample{
+				X: float64(i), Y: y, T: float64(i),
+			})
+		}
+		return tr
+	}
+	return []mstsearch.Trajectory{mk(1, 0), mk(2, 2), mk(3, 50)}
+}
+
+func ExampleDB_KMostSimilar() {
+	db, _ := mstsearch.NewDB(mstsearch.TBTree, square())
+	// Query: the course of object 1, shifted up by 0.5.
+	q := mstsearch.Trajectory{ID: 0}
+	for i := 0; i <= 10; i++ {
+		q.Samples = append(q.Samples, mstsearch.Sample{
+			X: float64(i), Y: 0.5, T: float64(i),
+		})
+	}
+	results, _, _ := db.KMostSimilar(&q, 0, 10, 2)
+	for i, r := range results {
+		fmt.Printf("%d. trajectory %d DISSIM %.1f\n", i+1, r.TrajID, r.Dissim)
+	}
+	// Output:
+	// 1. trajectory 1 DISSIM 5.0
+	// 2. trajectory 2 DISSIM 15.0
+}
+
+func ExampleDissimilarity() {
+	a := mstsearch.Trajectory{ID: 1, Samples: []mstsearch.Sample{
+		{X: 0, Y: 0, T: 0}, {X: 10, Y: 0, T: 10},
+	}}
+	// Same course sampled differently, at constant distance 3.
+	b := mstsearch.Trajectory{ID: 2, Samples: []mstsearch.Sample{
+		{X: 0, Y: 3, T: 0}, {X: 5, Y: 3, T: 5}, {X: 10, Y: 3, T: 10},
+	}}
+	d, _ := mstsearch.Dissimilarity(&a, &b, 0, 10)
+	fmt.Printf("DISSIM = %.0f\n", d) // 3 units of distance × 10 time units
+	// Output:
+	// DISSIM = 30
+}
+
+func ExampleDB_TopologyQuery() {
+	db, _ := mstsearch.NewDB(mstsearch.RTree3D, square())
+	// Region containing the first two courses, queried over the full span.
+	rels, _ := db.TopologyQuery(-1, -1, 11, 3, 0, 10)
+	for _, r := range rels {
+		fmt.Printf("trajectory %d: %s\n", r.TrajID, r.Relation)
+	}
+	// Output:
+	// trajectory 1: inside
+	// trajectory 2: inside
+}
+
+func ExampleCompressTDTR() {
+	tr := mstsearch.Trajectory{ID: 1}
+	for i := 0; i <= 100; i++ {
+		tr.Samples = append(tr.Samples, mstsearch.Sample{
+			X: float64(i), Y: 0, T: float64(i), // a straight line
+		})
+	}
+	c := mstsearch.CompressTDTR(&tr, 0.01)
+	fmt.Printf("%d -> %d samples\n", len(tr.Samples), len(c.Samples))
+	// Output:
+	// 101 -> 2 samples
+}

@@ -1,0 +1,3 @@
+module mstsearch
+
+go 1.22

@@ -1,0 +1,49 @@
+// Package baselines implements the comparison methods of the paper's
+// experimental study: the LCSS and EDR similarity measures (with the
+// paper's interpolation-improved LCSS-I / EDR-I variants), DTW, and a
+// brute-force linear-scan k-MST search that serves both as the
+// no-index comparison point and as the correctness oracle for
+// BFMSTSearch.
+package baselines
+
+import (
+	"sort"
+
+	"mstsearch/internal/dissim"
+	"mstsearch/internal/trajectory"
+)
+
+// ScanResult is one ranked answer of a linear scan.
+type ScanResult struct {
+	TrajID trajectory.ID
+	Dissim float64
+}
+
+// LinearScanMST computes the exact DISSIM between the query and every
+// dataset trajectory covering [t1, t2] and returns the k smallest
+// (most similar first). Trajectories not covering the period are skipped,
+// mirroring the index algorithm's completion rule.
+func LinearScanMST(data *trajectory.Dataset, q *trajectory.Trajectory, t1, t2 float64, k int) []ScanResult {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]ScanResult, 0, data.Len())
+	for i := range data.Trajs {
+		tr := &data.Trajs[i]
+		d, ok := dissim.Exact(q, tr, t1, t2)
+		if !ok {
+			continue
+		}
+		out = append(out, ScanResult{TrajID: tr.ID, Dissim: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dissim != out[j].Dissim {
+			return out[i].Dissim < out[j].Dissim
+		}
+		return out[i].TrajID < out[j].TrajID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"mstsearch/internal/trajectory"
+)
+
+// LCSS computes the Longest Common SubSequence similarity of Vlachos et
+// al. [21]: two samples match when both coordinate differences are below
+// eps and their index offset is at most delta (delta < 0 disables the
+// band). The returned similarity is LCSS/min(n, m) in [0, 1]; use
+// 1 − similarity as a distance.
+func LCSS(a, b *trajectory.Trajectory, eps float64, delta int) float64 {
+	n, m := len(a.Samples), len(b.Samples)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	// Rolling two-row DP over the (banded) edit lattice.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if delta >= 0 && abs(i-j) > delta {
+				// Outside the band: carry the best neighbour so the band
+				// borders stay consistent.
+				cur[j] = max(prev[j], cur[j-1])
+				continue
+			}
+			if matches(a.Samples[i-1], b.Samples[j-1], eps) {
+				cur[j] = prev[j-1] + 1
+			} else {
+				cur[j] = max(prev[j], cur[j-1])
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	lcss := prev[m]
+	return float64(lcss) / float64(minInt(n, m))
+}
+
+// LCSSDistance is 1 − LCSS similarity, a dissimilarity in [0, 1].
+func LCSSDistance(a, b *trajectory.Trajectory, eps float64, delta int) float64 {
+	return 1 - LCSS(a, b, eps, delta)
+}
+
+// EDR computes the Edit Distance on Real sequence of Chen et al. [5]:
+// the number of insert/delete/replace operations needed to turn a into b,
+// where a replace is free when the samples match within eps. Smaller is
+// more similar.
+func EDR(a, b *trajectory.Trajectory, eps float64) int {
+	n, m := len(a.Samples), len(b.Samples)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			sub := 1
+			if matches(a.Samples[i-1], b.Samples[j-1], eps) {
+				sub = 0
+			}
+			cur[j] = minInt(prev[j-1]+sub, minInt(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// DTW computes the Dynamic Time Warping distance [2] with Euclidean point
+// cost and no band constraint. Smaller is more similar.
+func DTW(a, b *trajectory.Trajectory) float64 {
+	n, m := len(a.Samples), len(b.Samples)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		cur[0] = inf
+		for j := 1; j <= m; j++ {
+			c := dist(a.Samples[i-1], b.Samples[j-1])
+			cur[j] = c + math.Min(prev[j-1], math.Min(prev[j], cur[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// InterpolateToTimestamps implements the paper's "-I" improvement (§5.2):
+// the under-sampled query gains linearly interpolated samples at every
+// timestamp of the checked data trajectory (within the query's lifespan),
+// so sample-by-sample measures see aligned sequences.
+func InterpolateToTimestamps(q, data *trajectory.Trajectory) trajectory.Trajectory {
+	times := make([]float64, 0, len(q.Samples)+len(data.Samples))
+	for _, s := range q.Samples {
+		times = append(times, s.T)
+	}
+	for _, s := range data.Samples {
+		if s.T >= q.StartTime() && s.T <= q.EndTime() {
+			times = append(times, s.T)
+		}
+	}
+	sort.Float64s(times)
+	// De-duplicate.
+	uniq := times[:0]
+	for i, t := range times {
+		if i == 0 || t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	return q.Resample(uniq)
+}
+
+// LCSSI is the LCSS-I improved measure: LCSS distance after aligning the
+// query to the data trajectory's timestamps.
+func LCSSI(q, data *trajectory.Trajectory, eps float64, delta int) float64 {
+	qi := InterpolateToTimestamps(q, data)
+	return LCSSDistance(&qi, data, eps, delta)
+}
+
+// EDRI is the EDR-I improved measure: EDR after aligning the query to the
+// data trajectory's timestamps.
+func EDRI(q, data *trajectory.Trajectory, eps float64) int {
+	qi := InterpolateToTimestamps(q, data)
+	return EDR(&qi, data, eps)
+}
+
+// EpsilonForDataset returns the matching threshold the paper uses for LCSS
+// and EDR: a quarter of the maximum standard deviation over the (already
+// normalized) trajectories (§5.2, after Chen et al.).
+func EpsilonForDataset(trajs []trajectory.Trajectory) float64 {
+	return trajectory.MaxStdOfDataset(trajs) / 4
+}
+
+func matches(a, b trajectory.Sample, eps float64) bool {
+	return math.Abs(a.X-b.X) <= eps && math.Abs(a.Y-b.Y) <= eps
+}
+
+func dist(a, b trajectory.Sample) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

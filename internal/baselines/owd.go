@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// OWD computes the One-Way Distance of Lin and Su [11] from a to b: the
+// average, along a's curve (by arc length), of the distance from each
+// point of a to the closest point of b's curve. It is a purely spatial
+// (time-independent) shape measure, included as the related-work
+// comparison the paper discusses in §2.
+//
+// The integral is evaluated numerically: every segment of a is sampled at
+// samplesPerSeg ≥ 1 equidistant points (plus the final vertex), each
+// weighted by the arc length it represents.
+func OWD(a, b *trajectory.Trajectory, samplesPerSeg int) float64 {
+	if samplesPerSeg < 1 {
+		samplesPerSeg = 4
+	}
+	if len(a.Samples) == 0 || len(b.Samples) == 0 {
+		return math.Inf(1)
+	}
+	if len(a.Samples) == 1 {
+		return distToPolyline(a.Samples[0], b)
+	}
+	var weighted, length float64
+	for i := 0; i+1 < len(a.Samples); i++ {
+		p, q := a.Samples[i], a.Samples[i+1]
+		segLen := math.Hypot(q.X-p.X, q.Y-p.Y)
+		w := segLen / float64(samplesPerSeg)
+		for s := 0; s < samplesPerSeg; s++ {
+			f := (float64(s) + 0.5) / float64(samplesPerSeg)
+			pt := trajectory.Sample{X: p.X + f*(q.X-p.X), Y: p.Y + f*(q.Y-p.Y)}
+			weighted += distToPolyline(pt, b) * w
+			length += w
+		}
+	}
+	if length == 0 {
+		// a is a stationary point sequence.
+		return distToPolyline(a.Samples[0], b)
+	}
+	return weighted / length
+}
+
+// SymmetricOWD is the symmetric variant (the average of both directions),
+// the form used for ranking.
+func SymmetricOWD(a, b *trajectory.Trajectory, samplesPerSeg int) float64 {
+	return (OWD(a, b, samplesPerSeg) + OWD(b, a, samplesPerSeg)) / 2
+}
+
+// distToPolyline returns the minimum distance from the point to b's
+// spatial polyline.
+func distToPolyline(p trajectory.Sample, b *trajectory.Trajectory) float64 {
+	pt := geom.Point{X: p.X, Y: p.Y}
+	if len(b.Samples) == 1 {
+		return pt.Dist(geom.Point{X: b.Samples[0].X, Y: b.Samples[0].Y})
+	}
+	best := math.Inf(1)
+	for i := 0; i+1 < len(b.Samples); i++ {
+		d := geom.DistSegmentPoint(
+			geom.Point{X: b.Samples[i].X, Y: b.Samples[i].Y},
+			geom.Point{X: b.Samples[i+1].X, Y: b.Samples[i+1].Y},
+			pt)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}

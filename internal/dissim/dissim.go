@@ -1,0 +1,119 @@
+// Package dissim implements the spatiotemporal trajectory dissimilarity
+// metric of the paper and the bounding metrics built on top of it:
+//
+//   - DISSIM (Definition 1): the definite integral over time of the
+//     Euclidean distance between two trajectories, computed either exactly
+//     (closed-form arcsinh integral per merged sampling interval) or via
+//     the trapezoid-rule approximation of Lemma 1 with its error bound;
+//   - LDD, the Linearly Dependent Dissimilarity (Definition 2);
+//   - OPTDISSIM / PESDISSIM (Definitions 3–4, Lemmas 2–3): speed-dependent
+//     lower/upper bounds on the DISSIM of a partially retrieved trajectory;
+//   - OPTDISSIMINC (Definition 5): the speed-independent lower bound that
+//     exploits best-first MINDIST ordering.
+//
+// MINDISSIMINC (Definition 6) combines OPTDISSIMINC values across the
+// candidate set and therefore lives with the search algorithm in package
+// mst.
+package dissim
+
+import (
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// Value is an approximate dissimilarity together with its Lemma 1 error
+// bound: the true DISSIM lies in [Approx−Err, Approx+Err].
+type Value struct {
+	Approx float64
+	Err    float64
+}
+
+// Add accumulates another value.
+func (v *Value) Add(o Value) { v.Approx += o.Approx; v.Err += o.Err }
+
+// Lower returns the certified lower bound Approx−Err (clamped at zero:
+// DISSIM is non-negative).
+func (v Value) Lower() float64 { return math.Max(0, v.Approx-v.Err) }
+
+// Upper returns the certified upper bound Approx+Err.
+func (v Value) Upper() float64 { return v.Approx + v.Err }
+
+// Exact computes DISSIM(Q, T) over the window [t1, t2] using the exact
+// closed-form integral on every merged sampling interval. ok is false if
+// either trajectory does not fully cover the window (the paper defines
+// DISSIM only for trajectories valid throughout the period).
+func Exact(q, t *trajectory.Trajectory, t1, t2 float64) (float64, bool) {
+	if !q.Covers(t1, t2) || !t.Covers(t1, t2) {
+		return 0, false
+	}
+	var sum float64
+	trajectory.ForEachAligned(q, t, t1, t2, func(qs, ts geom.Segment) bool {
+		sum += geom.NewTrinomial(qs, ts).Integral()
+		return true
+	})
+	return sum, true
+}
+
+// Approx computes the Lemma 1 trapezoid approximation of DISSIM(Q, T) over
+// [t1, t2], splitting each merged sampling interval into refine ≥ 1 equal
+// pieces (refine = 1 is the approximation exactly as stated in the paper).
+// Intervals whose error bound is unbounded — the two objects touch — fall
+// back to the exact integral, keeping the total error finite. ok is false
+// if either trajectory does not cover the window.
+func Approx(q, t *trajectory.Trajectory, t1, t2 float64, refine int) (Value, bool) {
+	if !q.Covers(t1, t2) || !t.Covers(t1, t2) {
+		return Value{}, false
+	}
+	var total Value
+	trajectory.ForEachAligned(q, t, t1, t2, func(qs, ts geom.Segment) bool {
+		total.Add(intervalValue(geom.NewTrinomial(qs, ts), refine))
+		return true
+	})
+	return total, true
+}
+
+// intervalValue evaluates one trinomial with the trapezoid rule, falling
+// back to the exact integral when the error bound is unbounded or larger
+// than the approximation itself (near-contact intervals).
+func intervalValue(tri geom.Trinomial, refine int) Value {
+	a, e := tri.TrapezoidRefined(refine)
+	if math.IsInf(e, 1) {
+		return Value{Approx: tri.Integral(), Err: 0}
+	}
+	return Value{Approx: a, Err: e}
+}
+
+// IntervalOf builds the Partial-state interval for one aligned co-temporal
+// segment pair: its time span, endpoint distances, and approximate DISSIM
+// contribution with error bound (refine as in Approx).
+func IntervalOf(qs, ts geom.Segment, refine int) Interval {
+	tri := geom.NewTrinomial(qs, ts)
+	return Interval{
+		T1:  qs.A.T,
+		T2:  qs.B.T,
+		D1:  tri.DistStart(),
+		D2:  tri.DistEnd(),
+		Val: intervalValue(tri, refine),
+	}
+}
+
+// LDD is the Linearly Dependent Dissimilarity of Definition 2: the
+// time-integral of the distance between two objects starting at distance
+// d ≥ 0 and moving collinearly with relative speed v (negative when
+// approaching) for a duration dt ≥ 0. When an approaching pair would meet
+// before dt elapses the distance is taken as zero from the meeting instant
+// on, giving the triangular area d²/(2|v|).
+func LDD(d, v, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d+v*dt >= 0 {
+		return dt * (d + v*dt/2)
+	}
+	return -d * d / (2 * v)
+}

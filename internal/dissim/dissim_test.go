@@ -1,0 +1,408 @@
+package dissim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// randTraj builds a random-walk trajectory spanning exactly [t0, t1].
+func randTraj(rng *rand.Rand, id trajectory.ID, n int, t0, t1 float64) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: id, Samples: make([]trajectory.Sample, n)}
+	// Random interior timestamps → different sampling rates per trajectory.
+	ts := make([]float64, n)
+	ts[0], ts[n-1] = t0, t1
+	for i := 1; i < n-1; i++ {
+		ts[i] = t0 + rng.Float64()*(t1-t0)
+	}
+	for i := 1; i < n-1; i++ { // insertion sort of interior points
+		for j := i; j > 1 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	// De-duplicate collisions by nudging.
+	for i := 1; i < n; i++ {
+		if ts[i] <= ts[i-1] {
+			ts[i] = ts[i-1] + 1e-6
+		}
+	}
+	x, y := rng.Float64()*100, rng.Float64()*100
+	for i := 0; i < n; i++ {
+		tr.Samples[i] = trajectory.Sample{X: x, Y: y, T: ts[i]}
+		x += rng.NormFloat64() * 2
+		y += rng.NormFloat64() * 2
+	}
+	return tr
+}
+
+// simpsonDissim numerically integrates the inter-trajectory distance.
+func simpsonDissim(q, t *trajectory.Trajectory, t1, t2 float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (t2 - t1) / float64(n)
+	dist := func(tt float64) float64 {
+		return q.At(tt).Spatial().Dist(t.At(tt).Spatial())
+	}
+	sum := dist(t1) + dist(t2)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * dist(t1+float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+func TestExactConstantOffset(t *testing.T) {
+	// Two identical shapes offset by 3 in y: DISSIM = 3 · duration.
+	q := trajectory.Trajectory{ID: 1, Samples: []trajectory.Sample{
+		{X: 0, Y: 0, T: 0}, {X: 5, Y: 0, T: 5}, {X: 10, Y: 5, T: 10},
+	}}
+	s := trajectory.Trajectory{ID: 2, Samples: []trajectory.Sample{
+		{X: 0, Y: 3, T: 0}, {X: 5, Y: 3, T: 5}, {X: 10, Y: 8, T: 10},
+	}}
+	got, ok := Exact(&q, &s, 0, 10)
+	if !ok || math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Exact = %v ok=%v, want 30", got, ok)
+	}
+}
+
+func TestExactIdenticalTrajectoriesIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := randTraj(rng, 1, 20, 0, 10)
+	s := q.Clone()
+	s.ID = 2
+	got, ok := Exact(&q, &s, 0, 10)
+	if !ok || got > 1e-9 {
+		t.Fatalf("self-DISSIM = %v ok=%v", got, ok)
+	}
+}
+
+func TestExactRequiresCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := randTraj(rng, 1, 10, 0, 10)
+	s := randTraj(rng, 2, 10, 2, 10) // starts late
+	if _, ok := Exact(&q, &s, 0, 10); ok {
+		t.Fatal("uncovered window must report ok=false")
+	}
+	if _, ok := Exact(&q, &s, 2, 10); !ok {
+		t.Fatal("covered window must succeed")
+	}
+}
+
+func TestExactMatchesSimpsonDifferentSamplingRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		// The paper's Fig. 1 scenario: 4 vs 32 samples over the same span.
+		q := randTraj(rng, 1, 4, 0, 10)
+		s := randTraj(rng, 2, 32, 0, 10)
+		exact, ok := Exact(&q, &s, 0, 10)
+		if !ok {
+			t.Fatal("coverage expected")
+		}
+		ref := simpsonDissim(&q, &s, 0, 10, 20000)
+		if math.Abs(exact-ref) > 1e-4*math.Max(1, ref) {
+			t.Fatalf("iter %d: exact=%v simpson=%v", i, exact, ref)
+		}
+	}
+}
+
+func TestApproxWithinErrorOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		q := randTraj(rng, 1, 3+rng.Intn(20), 0, 10)
+		s := randTraj(rng, 2, 3+rng.Intn(20), 0, 10)
+		exact, _ := Exact(&q, &s, 0, 10)
+		for _, refine := range []int{1, 4} {
+			v, ok := Approx(&q, &s, 0, 10, refine)
+			if !ok {
+				t.Fatal("coverage expected")
+			}
+			if math.IsInf(v.Err, 1) {
+				t.Fatal("Approx must degrade to exact on contact, never Inf")
+			}
+			if exact < v.Lower()-1e-9 || exact > v.Upper()+1e-9 {
+				t.Fatalf("iter %d refine %d: exact %v outside [%v, %v]",
+					i, refine, exact, v.Lower(), v.Upper())
+			}
+		}
+	}
+}
+
+func TestApproxRefinementTightens(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	worse, better := 0, 0
+	for i := 0; i < 100; i++ {
+		q := randTraj(rng, 1, 6, 0, 10)
+		s := randTraj(rng, 2, 6, 0, 10)
+		v1, _ := Approx(&q, &s, 0, 10, 1)
+		v8, _ := Approx(&q, &s, 0, 10, 8)
+		if v8.Err <= v1.Err+1e-12 {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Fatalf("refinement loosened the bound in %d/%d cases", worse, worse+better)
+	}
+}
+
+func TestLDD(t *testing.T) {
+	// Constant distance (v = 0): rectangle area.
+	if got := LDD(4, 0, 3); got != 12 {
+		t.Fatalf("LDD(4,0,3) = %v", got)
+	}
+	// Diverging: trapezoid area. d=2, v=1, dt=4: ½·(2+6)·4 = 16.
+	if got := LDD(2, 1, 4); got != 16 {
+		t.Fatalf("LDD(2,1,4) = %v", got)
+	}
+	// Approaching but not meeting: d=10, v=-1, dt=4: ½·(10+6)·4 = 32.
+	if got := LDD(10, -1, 4); got != 32 {
+		t.Fatalf("LDD(10,-1,4) = %v", got)
+	}
+	// Approaching and meeting: d=2, v=-1, dt=10 → triangle d²/(2|v|) = 2.
+	if got := LDD(2, -1, 10); got != 2 {
+		t.Fatalf("LDD(2,-1,10) = %v", got)
+	}
+	// Degenerate inputs.
+	if got := LDD(5, 1, 0); got != 0 {
+		t.Fatalf("zero duration LDD = %v", got)
+	}
+	if got := LDD(-3, 1, 2); got != 2 { // negative distance clamped to 0
+		t.Fatalf("negative-distance LDD = %v", got)
+	}
+	// Exactly meeting at the end: boundary between the two branches.
+	if got := LDD(4, -1, 4); got != 8 {
+		t.Fatalf("LDD(4,-1,4) = %v", got)
+	}
+}
+
+func TestIntervalOf(t *testing.T) {
+	qs := geom.Segment{A: geom.STPoint{X: 0, Y: 0, T: 0}, B: geom.STPoint{X: 10, Y: 0, T: 10}}
+	ts := geom.Segment{A: geom.STPoint{X: 0, Y: 5, T: 0}, B: geom.STPoint{X: 10, Y: 5, T: 10}}
+	iv := IntervalOf(qs, ts, 1)
+	if iv.T1 != 0 || iv.T2 != 10 || iv.D1 != 5 || iv.D2 != 5 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	if math.Abs(iv.Val.Approx-50) > 1e-9 || iv.Val.Err != 0 {
+		t.Fatalf("interval value = %+v", iv.Val)
+	}
+}
+
+func TestPartialCompletion(t *testing.T) {
+	p := NewPartial(0, 10)
+	if p.Complete() {
+		t.Fatal("empty partial cannot be complete")
+	}
+	p.Add(Interval{T1: 0, T2: 4, D1: 1, D2: 1, Val: Value{Approx: 4}})
+	if p.Complete() || p.Covered() != 4 {
+		t.Fatalf("covered=%v complete=%v", p.Covered(), p.Complete())
+	}
+	p.Add(Interval{T1: 6, T2: 10, D1: 1, D2: 1, Val: Value{Approx: 4}})
+	if p.Complete() {
+		t.Fatal("gap remains")
+	}
+	p.Add(Interval{T1: 4, T2: 6, D1: 1, D2: 1, Val: Value{Approx: 2}})
+	if !p.Complete() {
+		t.Fatal("fully covered must be complete")
+	}
+	if k := p.Known(); math.Abs(k.Approx-10) > 1e-12 {
+		t.Fatalf("known = %+v", k)
+	}
+}
+
+func TestPartialIgnoresDuplicatesAndClips(t *testing.T) {
+	p := NewPartial(0, 10)
+	p.Add(Interval{T1: 2, T2: 5, Val: Value{Approx: 3}})
+	p.Add(Interval{T1: 2, T2: 5, Val: Value{Approx: 3}}) // duplicate
+	p.Add(Interval{T1: 3, T2: 4, Val: Value{Approx: 1}}) // contained
+	if p.Covered() != 3 {
+		t.Fatalf("covered = %v, want 3", p.Covered())
+	}
+	if p.Known().Approx != 3 {
+		t.Fatalf("known = %v, want 3", p.Known().Approx)
+	}
+	// Clipping to the query period.
+	p.Add(Interval{T1: -5, T2: 1, Val: Value{Approx: 6}})
+	if p.Covered() != 4 {
+		t.Fatalf("covered after clip = %v, want 4", p.Covered())
+	}
+	// Fully outside: ignored.
+	p.Add(Interval{T1: 11, T2: 12, Val: Value{Approx: 1}})
+	if p.Covered() != 4 {
+		t.Fatal("outside interval must be ignored")
+	}
+}
+
+func TestPartialBoundsConstantDistance(t *testing.T) {
+	// Candidate at constant distance 2; only [0,4] retrieved of [0,10].
+	p := NewPartial(0, 10)
+	p.Add(Interval{T1: 0, T2: 4, D1: 2, D2: 2, Val: Value{Approx: 8}})
+	vmax := 1.0
+	// OPT: 8 + approach from d=2 at vmax over 6s → meets after 2s → area 2.
+	if got := p.OptDissim(vmax); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("OptDissim = %v, want 10", got)
+	}
+	// PES: 8 + diverge: ½·(2+8)·6 = 30 → 38.
+	if got := p.PesDissim(vmax); math.Abs(got-38) > 1e-9 {
+		t.Fatalf("PesDissim = %v, want 38", got)
+	}
+	// Vmax = 0: distance frozen at 2 → both bounds = 8 + 12 = 20.
+	if got := p.OptDissim(0); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("OptDissim(0) = %v", got)
+	}
+	if got := p.PesDissim(0); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("PesDissim(0) = %v", got)
+	}
+	// OPTDISSIMINC with mindist 1.5 over 6 uncovered seconds.
+	if got := p.OptDissimInc(1.5); math.Abs(got-17) > 1e-9 {
+		t.Fatalf("OptDissimInc = %v, want 17", got)
+	}
+}
+
+func TestPartialInteriorGapTurningPoint(t *testing.T) {
+	// Gap [2,8] anchored at d=3 on both sides, vmax=1. t° = 5; each leg:
+	// approach 3→0 in 3s: area 4.5 each → gap contributes 9.
+	p := NewPartial(0, 10)
+	p.Add(Interval{T1: 0, T2: 2, D1: 3, D2: 3, Val: Value{Approx: 6}})
+	p.Add(Interval{T1: 8, T2: 10, D1: 3, D2: 3, Val: Value{Approx: 6}})
+	if got := p.OptDissim(1); math.Abs(got-(12+9)) > 1e-9 {
+		t.Fatalf("OptDissim = %v, want 21", got)
+	}
+	// PES: diverge to apex: tp=5, legs: ½(3+6)·3 = 13.5 each → 27.
+	if got := p.PesDissim(1); math.Abs(got-(12+27)) > 1e-9 {
+		t.Fatalf("PesDissim = %v, want 39", got)
+	}
+	// Asymmetric anchors: d(2)=1, d(8)=5 with vmax=1: t°=(2+8+(5-1))/2=7.
+	// Legs: LDD(1,-1,5)=0.5, LDD(5,-1,1)=4.5 → 5.
+	p2 := NewPartial(0, 10)
+	p2.Add(Interval{T1: 0, T2: 2, D1: 1, D2: 1, Val: Value{Approx: 2}})
+	p2.Add(Interval{T1: 8, T2: 10, D1: 5, D2: 5, Val: Value{Approx: 10}})
+	if got := p2.OptDissim(1); math.Abs(got-(12+5)) > 1e-9 {
+		t.Fatalf("asymmetric OptDissim = %v, want 17", got)
+	}
+}
+
+func TestPartialLeadingTrailingGaps(t *testing.T) {
+	p := NewPartial(0, 10)
+	p.Add(Interval{T1: 4, T2: 6, D1: 2, D2: 2, Val: Value{Approx: 4}})
+	// Leading gap [0,4] anchored at end d=2, vmax=1: LDD(2,-1,4) = 2.
+	// Trailing gap [6,10] anchored at start d=2: LDD(2,-1,4) = 2.
+	if got := p.OptDissim(1); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("OptDissim = %v, want 8", got)
+	}
+	// PES: LDD(2,1,4) = ½(2+6)4 = 16 per gap → 4+32 = 36.
+	if got := p.PesDissim(1); math.Abs(got-36) > 1e-9 {
+		t.Fatalf("PesDissim = %v, want 36", got)
+	}
+}
+
+func TestPartialEmptyBounds(t *testing.T) {
+	p := NewPartial(0, 10)
+	if got := p.OptDissim(1); got != 0 {
+		t.Fatalf("empty OptDissim = %v", got)
+	}
+	if got := p.PesDissim(1); !math.IsInf(got, 1) {
+		t.Fatalf("empty PesDissim = %v, want +Inf", got)
+	}
+	if got := p.OptDissimInc(3); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("empty OptDissimInc = %v, want 30", got)
+	}
+}
+
+// The central sandwich property (Lemmas 2 and 3): for any subset of
+// retrieved intervals, OPTDISSIM ≤ exact DISSIM ≤ PESDISSIM, and
+// OPTDISSIMINC with a valid mindist also lower-bounds the exact DISSIM.
+func TestPartialSandwichProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		q := randTraj(rng, 1, 3+rng.Intn(15), 0, 10)
+		s := randTraj(rng, 2, 3+rng.Intn(15), 0, 10)
+		exact, ok := Exact(&q, &s, 0, 10)
+		if !ok {
+			t.Fatal("coverage expected")
+		}
+		vmax := q.MaxSpeed() + s.MaxSpeed()
+
+		// Collect all aligned intervals (and each one's true minimum
+		// distance, which can dip below the endpoint distances), then
+		// reveal a random subset.
+		type piece struct {
+			iv      Interval
+			minDist float64
+		}
+		var all []piece
+		trajectory.ForEachAligned(&q, &s, 0, 10, func(qs, ts geom.Segment) bool {
+			md, _ := geom.MinDistSegments(qs, ts)
+			all = append(all, piece{IntervalOf(qs, ts, 1), md})
+			return true
+		})
+		p := NewPartial(0, 10)
+		trueMinGapDist := math.Inf(1)
+		revealed := 0
+		for _, pc := range all {
+			if rng.Float64() < 0.5 {
+				p.Add(pc.iv)
+				revealed++
+			} else {
+				trueMinGapDist = math.Min(trueMinGapDist, pc.minDist)
+			}
+		}
+		if revealed == 0 {
+			continue
+		}
+		opt := p.OptDissim(vmax)
+		pes := p.PesDissim(vmax)
+		if opt > exact+1e-6 {
+			t.Fatalf("iter %d: OPTDISSIM %v > exact %v", iter, opt, exact)
+		}
+		if !p.Complete() && math.IsInf(pes, 1) {
+			// Acceptable only if a gap has no anchors — cannot happen once
+			// at least one interval is revealed unless gaps touch both ends.
+		} else if pes < exact-1e-6 {
+			t.Fatalf("iter %d: PESDISSIM %v < exact %v", iter, pes, exact)
+		}
+		// A valid mindist for OPTDISSIMINC never exceeds the true minimum
+		// distance during unrevealed intervals.
+		md := 0.0
+		if !math.IsInf(trueMinGapDist, 1) {
+			md = trueMinGapDist * 0.99
+		}
+		if inc := p.OptDissimInc(md); inc > exact+1e-6 {
+			t.Fatalf("iter %d: OPTDISSIMINC %v > exact %v (md=%v)", iter, inc, exact, md)
+		}
+		if p.Complete() {
+			k := p.Known()
+			if exact < k.Lower()-1e-9 || exact > k.Upper()+1e-9 {
+				t.Fatalf("iter %d: complete DISSIM %v outside [%v,%v]",
+					iter, exact, k.Lower(), k.Upper())
+			}
+		}
+	}
+}
+
+func BenchmarkExactDissim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := randTraj(rng, 1, 100, 0, 100)
+	s := randTraj(rng, 2, 100, 0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(&q, &s, 0, 100)
+	}
+}
+
+func BenchmarkApproxDissim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := randTraj(rng, 1, 100, 0, 100)
+	s := randTraj(rng, 2, 100, 0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approx(&q, &s, 0, 100, 1)
+	}
+}

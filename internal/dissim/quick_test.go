@@ -1,0 +1,89 @@
+package dissim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps an arbitrary float into a bounded positive range.
+func sanitize(v, scale float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return scale / 2
+	}
+	return math.Abs(math.Mod(v, scale))
+}
+
+// Property: LDD equals the numeric integral of max(0, d + v·t) over
+// [0, dt] — Definition 2 states exactly that area.
+func TestLDDMatchesNumericIntegralQuick(t *testing.T) {
+	f := func(dRaw, vRaw, dtRaw float64) bool {
+		d := sanitize(dRaw, 100)
+		v := sanitize(vRaw, 20) - 10 // in [-10, 10]
+		dt := sanitize(dtRaw, 50)
+		got := LDD(d, v, dt)
+		const n = 20000
+		var ref float64
+		h := dt / n
+		for i := 0; i < n; i++ {
+			tm := (float64(i) + 0.5) * h
+			ref += math.Max(0, d+v*tm) * h
+		}
+		return math.Abs(got-ref) <= 1e-3*math.Max(1, ref)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LDD is monotone in the initial distance and in the relative
+// speed, and non-negative.
+func TestLDDMonotoneQuick(t *testing.T) {
+	f := func(dRaw, vRaw, dtRaw, bumpRaw float64) bool {
+		d := sanitize(dRaw, 100)
+		v := sanitize(vRaw, 20) - 10
+		dt := sanitize(dtRaw, 50)
+		bump := sanitize(bumpRaw, 10)
+		base := LDD(d, v, dt)
+		if base < 0 {
+			return false
+		}
+		if LDD(d+bump, v, dt) < base-1e-12 {
+			return false // larger start distance → no smaller area
+		}
+		if LDD(d, v+bump, dt) < base-1e-12 {
+			return false // faster divergence → no smaller area
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Partial fed every interval of a tiling reports Complete and
+// both bounds collapse onto the known value (no gaps to bound).
+func TestPartialFullTilingCollapsesQuick(t *testing.T) {
+	f := func(seedRaw float64, parts uint8) bool {
+		n := int(parts%16) + 1
+		span := sanitize(seedRaw, 90) + 10
+		p := NewPartial(0, span)
+		for i := 0; i < n; i++ {
+			t1 := span * float64(i) / float64(n)
+			t2 := span * float64(i+1) / float64(n)
+			p.Add(Interval{T1: t1, T2: t2, D1: 1, D2: 1, Val: Value{Approx: t2 - t1}})
+		}
+		if !p.Complete() {
+			return false
+		}
+		k := p.Known()
+		if math.Abs(k.Approx-span) > 1e-9 {
+			return false
+		}
+		// No gaps: OPT and PES equal the known value exactly.
+		return math.Abs(p.OptDissim(5)-span) < 1e-9 && math.Abs(p.PesDissim(5)-span) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mstsearch/internal/mst"
+)
+
+// AblationRow quantifies one search configuration on the same workload.
+type AblationRow struct {
+	Name         string
+	AvgTimeMS    float64
+	AvgNodes     float64
+	PruningPower float64
+}
+
+// RunAblation measures the contribution of each pruning ingredient of
+// BFMSTSearch (DESIGN.md §4): both heuristics on, each off, both off, and
+// speed-independent-only pruning — all over the same query batch on the 3D
+// R-tree.
+func RunAblation(cfg PerfConfig, cardinality, numQueries int, qlen float64) ([]AblationRow, error) {
+	cfg = cfg.Defaults()
+	data := SyntheticDataset(cardinality, cfg.SamplesPerObject, cfg.Seed)
+	built, err := BuildIndex(RTree3D, data)
+	if err != nil {
+		return nil, err
+	}
+	queries := makeQueries(data, qlen, numQueries, cfg.Seed+99)
+	vmax := data.MaxSpeed()
+
+	configs := []struct {
+		name string
+		opts mst.Options
+	}{
+		{"full (H1+H2, Vmax)", mst.Options{K: 1, Vmax: vmax}},
+		{"no H1 (OPTDISSIM off)", mst.Options{K: 1, Vmax: vmax, DisableHeuristic1: true}},
+		{"no H2 (MINDISSIMINC off)", mst.Options{K: 1, Vmax: vmax, DisableHeuristic2: true}},
+		{"no H1+H2", mst.Options{K: 1, Vmax: vmax, DisableHeuristic1: true, DisableHeuristic2: true}},
+		{"speed-independent only", mst.Options{K: 1, Vmax: 0}},
+	}
+	rows := make([]AblationRow, 0, len(configs))
+	for _, c := range configs {
+		tree, bp := built.View()
+		var total time.Duration
+		var nodes int
+		var pruning float64
+		for _, q := range queries {
+			bp.ResetStats()
+			opts := c.opts
+			opts.Vmax = c.opts.Vmax
+			if opts.Vmax > 0 {
+				opts.Vmax += q.traj.MaxSpeed()
+			}
+			start := time.Now()
+			_, st, err := mst.Search(tree, &q.traj, q.t1, q.t2, opts)
+			if err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+			nodes += st.NodesAccessed
+			pruning += st.PruningPower
+		}
+		n := float64(len(queries))
+		rows = append(rows, AblationRow{
+			Name:         c.name,
+			AvgTimeMS:    float64(total.Microseconds()) / 1000 / n,
+			AvgNodes:     float64(nodes) / n,
+			PruningPower: pruning / n,
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblation renders the ablation table.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation — pruning ingredient contributions (3D R-tree, k=1)")
+	fmt.Fprintf(w, "%-28s%12s%12s%12s\n", "configuration", "time(ms)", "nodes", "pruning%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s%12.2f%12.1f%12.1f\n",
+			r.Name, r.AvgTimeMS, r.AvgNodes, r.PruningPower*100)
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"mstsearch/internal/mst"
+	"mstsearch/internal/trajectory"
+)
+
+// QuerySettings mirrors Table 3: the workload of one query set.
+type QuerySettings struct {
+	Name string
+	// Cardinalities are the synthetic dataset sizes (number of objects).
+	Cardinalities []int
+	// QueryLengths are the query durations as fractions of the dataset
+	// period.
+	QueryLengths []float64
+	// Ks are the numbers of requested neighbours.
+	Ks []int
+	// NumQueries is the number of queries per setting (paper: 500).
+	NumQueries int
+}
+
+// PaperQuerySettings returns the three query sets of Table 3.
+func PaperQuerySettings() []QuerySettings {
+	return []QuerySettings{
+		{Name: "Q1", Cardinalities: []int{100, 250, 500, 1000}, QueryLengths: []float64{0.05}, Ks: []int{1}, NumQueries: 500},
+		{Name: "Q2", Cardinalities: []int{500}, QueryLengths: []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0}, Ks: []int{1}, NumQueries: 500},
+		{Name: "Q3", Cardinalities: []int{500}, QueryLengths: []float64{0.05}, Ks: []int{1, 2, 5, 10}, NumQueries: 500},
+	}
+}
+
+// PerfConfig parameterizes the Fig. 10 experiments.
+type PerfConfig struct {
+	// IncludeSTRTree adds the STR-tree as a third series beyond the
+	// paper's two structures.
+	IncludeSTRTree bool
+	// SamplesPerObject scales the per-object sampling (paper: 2001 →
+	// ~2000 segments each). Smaller values give fast test runs with the
+	// same workload shape.
+	SamplesPerObject int
+	// NumQueries overrides the per-setting query count when > 0.
+	NumQueries int
+	Seed       int64
+}
+
+// Defaults fills zero fields.
+func (c PerfConfig) Defaults() PerfConfig {
+	if c.SamplesPerObject == 0 {
+		c.SamplesPerObject = 2001
+	}
+	return c
+}
+
+// PerfRow is one x-position of a Fig. 10 panel for one tree: averaged
+// execution time, pruning power and I/O over the query batch.
+type PerfRow struct {
+	Setting      string // e.g. "Q1"
+	Tree         TreeKind
+	Cardinality  int
+	QueryLength  float64
+	K            int
+	Queries      int
+	AvgTimeMS    float64
+	PruningPower float64
+	AvgNodes     float64
+	AvgPageReads float64 // physical reads through the paper buffer
+	AvgBufHits   float64
+}
+
+// perfDataset caches one built cardinality across settings.
+type perfDataset struct {
+	data    *trajectory.Dataset
+	vmax    float64
+	indexes map[TreeKind]*BuiltIndex
+}
+
+// Runner executes the performance study, reusing datasets and indexes
+// across query sets.
+type Runner struct {
+	cfg   PerfConfig
+	cache map[int]*perfDataset
+	// Progress, when non-nil, receives coarse progress lines.
+	Progress func(string)
+}
+
+// NewRunner creates a runner.
+func NewRunner(cfg PerfConfig) *Runner {
+	return &Runner{cfg: cfg.Defaults(), cache: map[int]*perfDataset{}}
+}
+
+// treeKinds returns the tree series this runner evaluates.
+func (r *Runner) treeKinds() []TreeKind {
+	if r.cfg.IncludeSTRTree {
+		return AllTreeKinds
+	}
+	return TreeKinds
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// dataset returns (building if needed) the synthetic dataset and indexes
+// for a cardinality.
+func (r *Runner) dataset(card int) (*perfDataset, error) {
+	if d, ok := r.cache[card]; ok {
+		return d, nil
+	}
+	r.logf("generating S%04d (%d objects x %d samples)", card, card, r.cfg.SamplesPerObject)
+	data := SyntheticDataset(card, r.cfg.SamplesPerObject, r.cfg.Seed)
+	pd := &perfDataset{data: data, vmax: data.MaxSpeed(), indexes: map[TreeKind]*BuiltIndex{}}
+	for _, kind := range r.treeKinds() {
+		r.logf("building %s over S%04d", kind, card)
+		b, err := BuildIndex(kind, data)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("built %s: %.1f MB in %s", kind, b.SizeMB(), b.BuildTime.Round(time.Millisecond))
+		pd.indexes[kind] = b
+	}
+	r.cache[card] = pd
+	return pd, nil
+}
+
+// Run executes one query set and returns a row per (tree, x-position).
+func (r *Runner) Run(qs QuerySettings) ([]PerfRow, error) {
+	if r.cfg.NumQueries > 0 {
+		qs.NumQueries = r.cfg.NumQueries
+	}
+	if qs.NumQueries <= 0 {
+		qs.NumQueries = 500
+	}
+	var rows []PerfRow
+	for _, card := range qs.Cardinalities {
+		pd, err := r.dataset(card)
+		if err != nil {
+			return nil, err
+		}
+		for _, qlen := range qs.QueryLengths {
+			for _, k := range qs.Ks {
+				queries := makeQueries(pd.data, qlen, qs.NumQueries, r.cfg.Seed+int64(card))
+				for _, kind := range r.treeKinds() {
+					row, err := r.runBatch(qs.Name, pd, kind, queries, qlen, k)
+					if err != nil {
+						return nil, err
+					}
+					row.Cardinality = card
+					rows = append(rows, row)
+					r.logf("%s %s card=%d len=%.0f%% k=%d: %.2f ms, pruning %.1f%%",
+						qs.Name, kind, card, qlen*100, k, row.AvgTimeMS, row.PruningPower*100)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// query is one prepared query trajectory with its period.
+type query struct {
+	traj   trajectory.Trajectory
+	t1, t2 float64
+}
+
+// makeQueries derives query trajectories as parts of random data
+// trajectories (Table 3): a random window of the requested relative
+// length.
+func makeQueries(data *trajectory.Dataset, qlen float64, n int, seed int64) []query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]query, 0, n)
+	for len(out) < n {
+		src := &data.Trajs[rng.Intn(data.Len())]
+		dur := src.Duration() * qlen
+		start := src.StartTime()
+		if qlen < 1 {
+			start += rng.Float64() * (src.Duration() - dur)
+		}
+		sl, ok := src.Slice(start, start+dur)
+		if !ok || sl.NumSegments() < 1 {
+			continue
+		}
+		q := sl.Clone()
+		q.ID = 0
+		out = append(out, query{traj: q, t1: sl.StartTime(), t2: sl.EndTime()})
+	}
+	return out
+}
+
+// runBatch executes the query batch against one index behind a fresh
+// paper buffer and averages the metrics.
+func (r *Runner) runBatch(name string, pd *perfDataset, kind TreeKind, queries []query, qlen float64, k int) (PerfRow, error) {
+	tree, bp := pd.indexes[kind].View()
+	row := PerfRow{Setting: name, Tree: kind, QueryLength: qlen, K: k, Queries: len(queries)}
+	var totalTime time.Duration
+	var totalPruning float64
+	var totalNodes int
+	for _, q := range queries {
+		bp.ResetStats()
+		opts := mst.Options{K: k, Vmax: pd.vmax + q.traj.MaxSpeed()}
+		start := time.Now()
+		_, stats, err := mst.Search(tree, &q.traj, q.t1, q.t2, opts)
+		if err != nil {
+			return row, fmt.Errorf("experiments: %s on %s: %w", name, kind, err)
+		}
+		totalTime += time.Since(start)
+		totalPruning += stats.PruningPower
+		totalNodes += stats.NodesAccessed
+		s := bp.Stats()
+		row.AvgPageReads += float64(s.Reads)
+		row.AvgBufHits += float64(s.Hits)
+	}
+	n := float64(len(queries))
+	row.AvgTimeMS = float64(totalTime.Microseconds()) / 1000 / n
+	row.PruningPower = totalPruning / n
+	row.AvgNodes = float64(totalNodes) / n
+	row.AvgPageReads /= n
+	row.AvgBufHits /= n
+	return row, nil
+}
+
+// PrintPerf renders Fig. 10-style rows for one query set.
+func PrintPerf(w io.Writer, setting string, rows []PerfRow) {
+	fmt.Fprintf(w, "Figure 10 (%s) — execution time and pruning power\n", setting)
+	fmt.Fprintf(w, "%-10s%8s%8s%6s%12s%12s%12s%12s\n",
+		"tree", "objs", "len%", "k", "time(ms)", "pruning%", "nodes", "pageReads")
+	for _, r := range rows {
+		if r.Setting != setting {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s%8d%8.0f%6d%12.2f%12.1f%12.1f%12.1f\n",
+			r.Tree, r.Cardinality, r.QueryLength*100, r.K,
+			r.AvgTimeMS, r.PruningPower*100, r.AvgNodes, r.AvgPageReads)
+	}
+}
+
+// Table2Row is one dataset line of Table 2.
+type Table2Row struct {
+	Name     string
+	Objects  int
+	Entries  int
+	RTreeMB  float64
+	TBTreeMB float64
+}
+
+// RunTable2 reproduces Table 2: dataset cardinalities and the sizes of
+// both indexes. trucksScale and samplesPerObject allow scaled-down runs.
+func RunTable2(cardinalities []int, samplesPerObject int, trucksScale float64, seed int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	build := func(name string, data *trajectory.Dataset) error {
+		row := Table2Row{Name: name, Objects: data.Len(), Entries: data.NumSegments()}
+		r, err := BuildIndex(RTree3D, data)
+		if err != nil {
+			return err
+		}
+		row.RTreeMB = r.SizeMB()
+		t, err := BuildIndex(TBTree, data)
+		if err != nil {
+			return err
+		}
+		row.TBTreeMB = t.SizeMB()
+		rows = append(rows, row)
+		return nil
+	}
+	if err := build("Trucks", TrucksDataset(trucksScale, seed)); err != nil {
+		return nil, err
+	}
+	for _, card := range cardinalities {
+		if err := build(fmt.Sprintf("S%04d", card), SyntheticDataset(card, samplesPerObject, seed)); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2 — dataset summary and index sizes")
+	fmt.Fprintf(w, "%-10s%10s%14s%14s%14s\n", "dataset", "objects", "entries(x1K)", "3DR-tree(MB)", "TB-tree(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s%10d%14.0f%14.1f%14.1f\n",
+			r.Name, r.Objects, float64(r.Entries)/1000, r.RTreeMB, r.TBTreeMB)
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"mstsearch/internal/baselines"
+	"mstsearch/internal/tdtr"
+	"mstsearch/internal/trajectory"
+)
+
+// QualityConfig parameterizes the Fig. 9 experiment.
+type QualityConfig struct {
+	// Scale shrinks the Trucks-like dataset for fast runs (1 = paper
+	// scale: 273 trucks / ~112K segments).
+	Scale float64
+	// NumQueries caps how many compressed trajectories query the dataset
+	// per p value (0 = every trajectory, as in the paper).
+	NumQueries int
+	// PValues are the TD-TR parameters swept on the x axis of Fig. 9.
+	PValues []float64
+	// LCSSDelta is the LCSS index-offset band (< 0 disables, the
+	// behaviour matching the paper's time-translation-tolerant setting).
+	LCSSDelta int
+	Seed      int64
+}
+
+// Defaults fills zero fields with the paper's settings.
+func (c QualityConfig) Defaults() QualityConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if len(c.PValues) == 0 {
+		c.PValues = []float64{0.001, 0.01, 0.02, 0.05, 0.10}
+	}
+	if c.LCSSDelta == 0 {
+		c.LCSSDelta = -1
+	}
+	return c
+}
+
+// QualityMeasures lists the Fig. 9 series in presentation order.
+var QualityMeasures = []string{"DISSIM", "LCSS", "LCSS-I", "EDR", "EDR-I"}
+
+// QualityRow is one x-position of Fig. 9: the TD-TR parameter and the
+// percentage of false k=1 answers per measure.
+type QualityRow struct {
+	P            float64
+	FalsePercent map[string]float64
+	Queries      int
+}
+
+// RunQuality reproduces Fig. 9: every trajectory of the (Trucks-like)
+// dataset is compressed with TD-TR at parameter p and used as a k=1 query
+// against the original dataset under each similarity measure; an answer is
+// false when the original trajectory is not ranked first. LCSS/EDR run on
+// normalized trajectories with ε = max-stddev/4 (§5.2); the -I variants
+// additionally interpolate the query at the data trajectory's timestamps.
+func RunQuality(cfg QualityConfig) []QualityRow {
+	cfg = cfg.Defaults()
+	data := TrucksDataset(cfg.Scale, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Pre-normalize the dataset once for the LCSS/EDR family.
+	norm := make([]trajectory.Trajectory, data.Len())
+	for i := range data.Trajs {
+		norm[i] = trajectory.Normalize(&data.Trajs[i])
+	}
+	eps := baselines.EpsilonForDataset(norm)
+
+	queryIdx := rng.Perm(data.Len())
+	if cfg.NumQueries > 0 && cfg.NumQueries < len(queryIdx) {
+		queryIdx = queryIdx[:cfg.NumQueries]
+	}
+
+	rows := make([]QualityRow, 0, len(cfg.PValues))
+	for _, p := range cfg.PValues {
+		false1 := map[string]int{}
+		for _, qi := range queryIdx {
+			orig := &data.Trajs[qi]
+			comp := tdtr.CompressRatio(orig, p)
+			comp.ID = 0
+
+			// DISSIM: exact linear scan over the raw dataset.
+			res := baselines.LinearScanMST(data, &comp, orig.StartTime(), orig.EndTime(), 1)
+			if len(res) == 0 || res[0].TrajID != orig.ID {
+				false1["DISSIM"]++
+			}
+
+			// LCSS/EDR family on normalized data.
+			compN := trajectory.Normalize(&comp)
+			if top1(norm, func(tr *trajectory.Trajectory) float64 {
+				return baselines.LCSSDistance(&compN, tr, eps, cfg.LCSSDelta)
+			}) != orig.ID {
+				false1["LCSS"]++
+			}
+			if top1(norm, func(tr *trajectory.Trajectory) float64 {
+				return baselines.LCSSI(&compN, tr, eps, cfg.LCSSDelta)
+			}) != orig.ID {
+				false1["LCSS-I"]++
+			}
+			if top1(norm, func(tr *trajectory.Trajectory) float64 {
+				return float64(baselines.EDR(&compN, tr, eps))
+			}) != orig.ID {
+				false1["EDR"]++
+			}
+			if top1(norm, func(tr *trajectory.Trajectory) float64 {
+				return float64(baselines.EDRI(&compN, tr, eps))
+			}) != orig.ID {
+				false1["EDR-I"]++
+			}
+		}
+		row := QualityRow{P: p, FalsePercent: map[string]float64{}, Queries: len(queryIdx)}
+		for _, m := range QualityMeasures {
+			row.FalsePercent[m] = 100 * float64(false1[m]) / float64(len(queryIdx))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// top1 returns the ID of the trajectory minimizing the distance function
+// (ties broken by lower ID, matching LinearScanMST).
+func top1(trajs []trajectory.Trajectory, distFn func(*trajectory.Trajectory) float64) trajectory.ID {
+	bestID := trajectory.ID(0)
+	best := 0.0
+	first := true
+	for i := range trajs {
+		d := distFn(&trajs[i])
+		if first || d < best || (d == best && trajs[i].ID < bestID) {
+			best, bestID, first = d, trajs[i].ID, false
+		}
+	}
+	return bestID
+}
+
+// PrintQuality renders the Fig. 9 rows as an aligned table.
+func PrintQuality(w io.Writer, rows []QualityRow) {
+	fmt.Fprintf(w, "Figure 9 — false k=1 results (%%) vs TD-TR parameter p (%d queries/row)\n",
+		rowsQueries(rows))
+	fmt.Fprintf(w, "%-8s", "p")
+	for _, m := range QualityMeasures {
+		fmt.Fprintf(w, "%10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s", fmt.Sprintf("%.1f%%", r.P*100))
+		for _, m := range QualityMeasures {
+			fmt.Fprintf(w, "%10.1f", r.FalsePercent[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func rowsQueries(rows []QualityRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[0].Queries
+}
+
+// CompressionRow is one panel of Fig. 8: the TD-TR parameter and the
+// vertex count of the example trajectory.
+type CompressionRow struct {
+	P        float64
+	Vertices int
+}
+
+// RunCompression reproduces Fig. 8: the vertex counts of one trajectory
+// compressed at increasing p. The paper shows the trajectory with the most
+// vertices in Trucks (168 at p = 0 in their plot); we use the longest
+// trajectory of the generated fleet.
+func RunCompression(cfg QualityConfig) []CompressionRow {
+	cfg = cfg.Defaults()
+	data := TrucksDataset(cfg.Scale, cfg.Seed)
+	longest := &data.Trajs[0]
+	for i := range data.Trajs {
+		if len(data.Trajs[i].Samples) > len(longest.Samples) {
+			longest = &data.Trajs[i]
+		}
+	}
+	ps := append([]float64{0}, cfg.PValues...)
+	sort.Float64s(ps)
+	rows := make([]CompressionRow, 0, len(ps))
+	for _, p := range ps {
+		c := tdtr.CompressRatio(longest, p)
+		rows = append(rows, CompressionRow{P: p, Vertices: len(c.Samples)})
+	}
+	return rows
+}
+
+// PrintCompression renders the Fig. 8 rows.
+func PrintCompression(w io.Writer, rows []CompressionRow) {
+	fmt.Fprintln(w, "Figure 8 — vertices of an example trajectory under TD-TR compression")
+	fmt.Fprintf(w, "%-8s%10s\n", "p", "vertices")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s%10d\n", fmt.Sprintf("%.1f%%", r.P*100), r.Vertices)
+	}
+}

@@ -1,0 +1,237 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trinomial represents the squared Euclidean distance between two points
+// moving linearly during a common time interval:
+//
+//	f(τ) = A·τ² + B·τ + C,   τ = t − T0,   D(t) = sqrt(f(τ))
+//
+// with A ≥ 0 and f(τ) ≥ 0 for every τ (it is a squared distance), which
+// implies the discriminant B² − 4AC ≤ 0. Keeping τ relative to the interval
+// start T0 preserves numerical precision for large absolute timestamps.
+//
+// This is the quantity DQ,T(t) of the paper (after Frentzos et al.,
+// "Algorithms for Nearest Neighbor Search on Moving Object Trajectories"),
+// and everything in the DISSIM metric — the exact integral, the trapezoid
+// approximation of Lemma 1 and its error bound — reduces to operations on
+// it.
+type Trinomial struct {
+	A, B, C float64
+	T0      float64 // absolute time of τ = 0
+	T1      float64 // absolute end of the common interval (T1 >= T0)
+}
+
+// NewTrinomial builds the distance trinomial for two segments that must
+// share the exact same time interval. It panics if the intervals differ by
+// more than a small tolerance relative to their span; callers clip/align
+// segments first (see CommonInterval in package trajectory).
+func NewTrinomial(q, t Segment) Trinomial {
+	span := math.Max(q.Duration(), t.Duration())
+	tol := 1e-9 * math.Max(1, span)
+	if math.Abs(q.A.T-t.A.T) > tol || math.Abs(q.B.T-t.B.T) > tol {
+		panic(fmt.Sprintf("geom: segments not time-aligned: [%g,%g] vs [%g,%g]",
+			q.A.T, q.B.T, t.A.T, t.B.T))
+	}
+	d0 := q.A.Spatial().Sub(t.A.Spatial()) // relative position at τ = 0
+	dv := q.Velocity().Sub(t.Velocity())   // relative velocity
+	tri := Trinomial{
+		A:  dv.Dot(dv),
+		B:  2 * d0.Dot(dv),
+		C:  d0.Dot(d0),
+		T0: q.A.T,
+		T1: q.B.T,
+	}
+	// Guard against tiny negative round-off that would break sqrt.
+	if tri.C < 0 {
+		tri.C = 0
+	}
+	return tri
+}
+
+// Duration returns the length of the common interval.
+func (tr Trinomial) Duration() float64 { return tr.T1 - tr.T0 }
+
+// f evaluates the squared distance at relative time τ, clamped at zero to
+// absorb floating-point round-off.
+func (tr Trinomial) f(tau float64) float64 {
+	v := (tr.A*tau+tr.B)*tau + tr.C
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Dist returns the distance D(t) at absolute time t.
+func (tr Trinomial) Dist(t float64) float64 { return math.Sqrt(tr.f(t - tr.T0)) }
+
+// DistStart and DistEnd return the distances at the interval endpoints.
+func (tr Trinomial) DistStart() float64 { return math.Sqrt(tr.f(0)) }
+
+// DistEnd returns the distance at the end of the interval.
+func (tr Trinomial) DistEnd() float64 { return math.Sqrt(tr.f(tr.Duration())) }
+
+// MinDist returns the minimum distance over the interval together with the
+// absolute time at which it is attained. For A > 0 the candidate is the
+// vertex τ* = −B/(2A) clamped into the interval; otherwise an endpoint.
+func (tr Trinomial) MinDist() (d, t float64) {
+	tau := 0.0
+	if tr.A > Eps {
+		tau = clamp(-tr.B/(2*tr.A), 0, tr.Duration())
+	} else if tr.B < 0 {
+		tau = tr.Duration()
+	}
+	ds, de := tr.f(0), tr.f(tr.Duration())
+	dm := tr.f(tau)
+	switch {
+	case dm <= ds && dm <= de:
+		return math.Sqrt(dm), tr.T0 + tau
+	case ds <= de:
+		return math.Sqrt(ds), tr.T0
+	default:
+		return math.Sqrt(de), tr.T1
+	}
+}
+
+// Integral returns the exact definite integral of D(t) over the whole
+// interval — the contribution of this segment pair to DISSIM — using the
+// closed form
+//
+//	∫ sqrt(f) dτ = (2Aτ+B)/(4A)·sqrt(f) + (4AC−B²)/(8A^{3/2})·asinh((2Aτ+B)/sqrt(4AC−B²))
+//
+// for A > 0, with the degenerate discriminant and constant/linear cases
+// handled separately.
+func (tr Trinomial) Integral() float64 { return tr.IntegralBetween(tr.T0, tr.T1) }
+
+// IntegralBetween returns the exact integral of D(t) over [ta, tb] ⊆
+// [T0, T1] (the bounds are clamped into the interval).
+func (tr Trinomial) IntegralBetween(ta, tb float64) float64 {
+	lo := clamp(ta-tr.T0, 0, tr.Duration())
+	hi := clamp(tb-tr.T0, 0, tr.Duration())
+	if hi <= lo {
+		return 0
+	}
+	a, b, c := tr.A, tr.B, tr.C
+	if a <= Eps {
+		if math.Abs(b) <= Eps {
+			// Constant distance. For genuine moving points A = 0 ⟹ B = 0
+			// (paper §3), so this is the common constant case.
+			return math.Sqrt(math.Max(c, 0)) * (hi - lo)
+		}
+		// Robustness fallback: f linear (cannot arise from true squared
+		// distances but may from rounded inputs).
+		prim := func(tau float64) float64 {
+			v := math.Max(b*tau+c, 0)
+			return 2 / (3 * b) * v * math.Sqrt(v)
+		}
+		return prim(hi) - prim(lo)
+	}
+	disc := 4*a*c - b*b // ≥ 0 up to round-off
+	if disc <= Eps*math.Max(1, 4*a*c) {
+		// f is a perfect square: sqrt(f) = sqrt(A)·|τ − τ*|.
+		tau := -b / (2 * a)
+		sq := math.Sqrt(a)
+		prim := func(u float64) float64 { return sq * u * math.Abs(u) / 2 }
+		return prim(hi-tau) - prim(lo-tau)
+	}
+	sd := math.Sqrt(disc)
+	prim := func(tau float64) float64 {
+		u := 2*a*tau + b
+		return u/(4*a)*math.Sqrt(tr.f(tau)) + disc/(8*a*math.Sqrt(a))*math.Asinh(u/sd)
+	}
+	return prim(hi) - prim(lo)
+}
+
+// Trapezoid returns the trapezoid-rule approximation of the integral over
+// the whole interval (Lemma 1 of the paper):
+//
+//	½ · (D(t0) + D(t1)) · (t1 − t0)
+func (tr Trinomial) Trapezoid() float64 {
+	return 0.5 * (tr.DistStart() + tr.DistEnd()) * tr.Duration()
+}
+
+// TrapezoidError bounds the absolute error of Trapezoid per Lemma 1:
+//
+//	E ≤ (Δt)³/12 · max |D″| over the interval,
+//
+// where D″(τ) = (4AC − B²) / (4·f(τ)^{3/2}) for A > 0. |D″| is maximized
+// where f is smallest: at the vertex −B/(2A) if inside the interval,
+// otherwise at the nearer endpoint — the three cases of Lemma 1. The bound
+// is +Inf when the two objects actually meet (f reaches zero), in which
+// case callers should use the exact Integral instead.
+func (tr Trinomial) TrapezoidError() float64 {
+	return tr.pieceError(0, tr.Duration())
+}
+
+// TrapezoidRefined approximates the integral by splitting the interval into
+// n equal sub-intervals and summing per-piece trapezoids, returning the
+// approximation and the summed error bound. n < 1 is treated as 1. Because
+// the Lemma 1 bound is cubic in Δt, refining by n shrinks the bound by
+// ~n⁻².
+func (tr Trinomial) TrapezoidRefined(n int) (approx, errBound float64) {
+	if n < 1 {
+		n = 1
+	}
+	dt := tr.Duration()
+	if dt == 0 {
+		return 0, 0
+	}
+	h := dt / float64(n)
+	prev := tr.DistStart()
+	for i := 1; i <= n; i++ {
+		tau := float64(i) * h
+		cur := math.Sqrt(tr.f(tau))
+		approx += 0.5 * (prev + cur) * h
+		errBound += tr.pieceError(tau-h, tau)
+		prev = cur
+	}
+	return approx, errBound
+}
+
+// pieceError is the Lemma 1 error bound restricted to the relative
+// sub-interval [lo, hi]. The perfect-square (zero-discriminant) trinomial
+// is special-cased: there D(τ) = sqrt(A)·|τ − τ*| has a kink rather than
+// curvature, and the trapezoid error is exactly sqrt(A)·(τ*−lo)·(hi−τ*)
+// when the kink τ* is interior, zero otherwise.
+func (tr Trinomial) pieceError(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	disc := 4*tr.A*tr.C - tr.B*tr.B
+	num := math.Abs(disc)
+	if tr.A > Eps && num <= Eps*math.Max(1, 4*tr.A*tr.C) {
+		tau := -tr.B / (2 * tr.A)
+		if tau <= lo || tau >= hi {
+			return 0 // D linear on the whole piece; trapezoid exact.
+		}
+		return math.Sqrt(tr.A) * (tau - lo) * (hi - tau)
+	}
+	if num <= Eps {
+		return 0 // constant (or effectively constant) distance.
+	}
+	tau := lo
+	if tr.A > Eps {
+		tau = clamp(-tr.B/(2*tr.A), lo, hi)
+	} else if tr.B < 0 {
+		tau = hi
+	}
+	fmin := math.Min(tr.f(tau), math.Min(tr.f(lo), tr.f(hi)))
+	if fmin <= 0 {
+		return math.Inf(1)
+	}
+	h := hi - lo
+	return h * h * h / 12 * num / (4 * fmin * math.Sqrt(fmin))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,232 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simpson numerically integrates D(t) as a high-resolution reference.
+func simpson(tr Trinomial, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	a, b := tr.T0, tr.T1
+	if b == a {
+		return 0
+	}
+	h := (b - a) / float64(n)
+	sum := tr.Dist(a) + tr.Dist(b)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * tr.Dist(a+float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+func randSegPair(rng *rand.Rand) (Segment, Segment) {
+	t0 := rng.Float64() * 100
+	dur := rng.Float64()*20 + 0.05
+	mk := func() Segment {
+		return Segment{
+			STPoint{rng.Float64()*50 - 25, rng.Float64()*50 - 25, t0},
+			STPoint{rng.Float64()*50 - 25, rng.Float64()*50 - 25, t0 + dur},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestNewTrinomialBasics(t *testing.T) {
+	q := Segment{STPoint{0, 0, 0}, STPoint{10, 0, 10}}
+	s := Segment{STPoint{0, 3, 0}, STPoint{10, 3, 10}}
+	tr := NewTrinomial(q, s)
+	if tr.A != 0 || tr.B != 0 || tr.C != 9 {
+		t.Fatalf("constant-distance trinomial = %+v", tr)
+	}
+	if d := tr.Dist(5); d != 3 {
+		t.Fatalf("Dist(5) = %v", d)
+	}
+	if got := tr.Integral(); !almostEq(got, 30, 1e-12) {
+		t.Fatalf("Integral = %v, want 30", got)
+	}
+	if got := tr.Trapezoid(); !almostEq(got, 30, 1e-12) {
+		t.Fatalf("Trapezoid = %v, want 30", got)
+	}
+	if e := tr.TrapezoidError(); e != 0 {
+		t.Fatalf("constant distance must have zero error bound, got %v", e)
+	}
+}
+
+func TestNewTrinomialPanicsOnMisalignedSegments(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for misaligned segments")
+		}
+	}()
+	NewTrinomial(
+		Segment{STPoint{0, 0, 0}, STPoint{1, 1, 1}},
+		Segment{STPoint{0, 0, 0.5}, STPoint{1, 1, 1.5}},
+	)
+}
+
+func TestTrinomialMinDist(t *testing.T) {
+	// Two objects crossing: q moves right, s moves left along y=0.
+	q := Segment{STPoint{0, 0, 0}, STPoint{10, 0, 10}}
+	s := Segment{STPoint{10, 0, 0}, STPoint{0, 0, 10}}
+	tr := NewTrinomial(q, s)
+	d, at := tr.MinDist()
+	if !almostEq(d, 0, 1e-9) || !almostEq(at, 5, 1e-9) {
+		t.Fatalf("crossing MinDist = %v at %v", d, at)
+	}
+	// Diverging objects: minimum at interval start.
+	s = Segment{STPoint{0, 1, 0}, STPoint{-10, 1, 10}}
+	tr = NewTrinomial(q, s)
+	d, at = tr.MinDist()
+	if !almostEq(d, 1, 1e-12) || at != 0 {
+		t.Fatalf("diverging MinDist = %v at %v", d, at)
+	}
+}
+
+func TestIntegralMatchesSimpson(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		q, s := randSegPair(rng)
+		tr := NewTrinomial(q, s)
+		exact := tr.Integral()
+		ref := simpson(tr, 4000)
+		if !almostEq(exact, ref, 1e-6) {
+			t.Fatalf("iter %d: exact=%v simpson=%v tri=%+v", i, exact, ref, tr)
+		}
+	}
+}
+
+func TestIntegralDegenerateDiscriminant(t *testing.T) {
+	// Objects meeting exactly: distance |t-5|·v → perfect-square trinomial.
+	q := Segment{STPoint{0, 0, 0}, STPoint{10, 0, 10}}
+	s := Segment{STPoint{10, 0, 0}, STPoint{0, 0, 10}}
+	tr := NewTrinomial(q, s)
+	// Relative speed 2, distance falls 10→0 over [0,5] then rises 0→10:
+	// area = 2·(½·5·10) = 50.
+	if got := tr.Integral(); !almostEq(got, 50, 1e-9) {
+		t.Fatalf("meeting integral = %v, want 50", got)
+	}
+	ref := simpson(tr, 4000)
+	if !almostEq(tr.Integral(), ref, 1e-5) {
+		t.Fatalf("meeting integral %v vs simpson %v", tr.Integral(), ref)
+	}
+}
+
+func TestIntegralBetweenAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		q, s := randSegPair(rng)
+		tr := NewTrinomial(q, s)
+		mid := tr.T0 + rng.Float64()*tr.Duration()
+		whole := tr.Integral()
+		parts := tr.IntegralBetween(tr.T0, mid) + tr.IntegralBetween(mid, tr.T1)
+		if !almostEq(whole, parts, 1e-9) {
+			t.Fatalf("iter %d: integral not additive: %v vs %v", i, whole, parts)
+		}
+	}
+}
+
+// The core Lemma 1 property: |Trapezoid − exact| ≤ TrapezoidError whenever
+// the bound is finite.
+func TestTrapezoidErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	finite := 0
+	for i := 0; i < 5000; i++ {
+		q, s := randSegPair(rng)
+		tr := NewTrinomial(q, s)
+		exact := tr.Integral()
+		approx := tr.Trapezoid()
+		bound := tr.TrapezoidError()
+		if math.IsInf(bound, 1) {
+			continue
+		}
+		finite++
+		if math.Abs(approx-exact) > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("iter %d: |%v-%v|=%v exceeds bound %v (tri=%+v)",
+				i, approx, exact, math.Abs(approx-exact), bound, tr)
+		}
+	}
+	if finite < 4000 {
+		t.Fatalf("too few finite bounds: %d", finite)
+	}
+}
+
+func TestTrapezoidRefinedConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		q, s := randSegPair(rng)
+		tr := NewTrinomial(q, s)
+		exact := tr.Integral()
+		a1, e1 := tr.TrapezoidRefined(1)
+		a8, e8 := tr.TrapezoidRefined(8)
+		if !almostEq(a1, tr.Trapezoid(), 1e-12) {
+			t.Fatalf("TrapezoidRefined(1) != Trapezoid: %v vs %v", a1, tr.Trapezoid())
+		}
+		if !math.IsInf(e8, 1) && math.Abs(a8-exact) > e8*(1+1e-9)+1e-12 {
+			t.Fatalf("refined bound violated: |%v-%v| > %v", a8, exact, e8)
+		}
+		if !math.IsInf(e1, 1) && !math.IsInf(e8, 1) && e8 > e1*(1+1e-9) {
+			t.Fatalf("refinement did not shrink bound: %v -> %v", e1, e8)
+		}
+	}
+}
+
+func TestTrapezoidErrorInfiniteOnContact(t *testing.T) {
+	// Objects that actually meet make f reach zero → unbounded D″.
+	q := Segment{STPoint{0, 0, 0}, STPoint{10, 0, 10}}
+	s := Segment{STPoint{10, 1e-9, 0}, STPoint{0, -1e-9, 10}}
+	tr := NewTrinomial(q, s)
+	d, _ := tr.MinDist()
+	if d > 1e-6 {
+		t.Skip("construction did not produce near-contact")
+	}
+	// The trapezoid here is badly wrong (≈100 vs exact ≈50); the bound must
+	// still cover the gap — infinite, or ≥ the actual error.
+	e := tr.TrapezoidError()
+	actual := math.Abs(tr.Trapezoid() - tr.Integral())
+	if !math.IsInf(e, 1) && e < actual*(1-1e-9) {
+		t.Fatalf("near-contact bound %v below actual error %v", e, actual)
+	}
+	if actual < 10 {
+		t.Fatalf("test construction expected a large trapezoid error, got %v", actual)
+	}
+}
+
+func TestZeroDurationTrinomial(t *testing.T) {
+	q := Segment{STPoint{0, 0, 5}, STPoint{0, 0, 5}}
+	s := Segment{STPoint{3, 4, 5}, STPoint{3, 4, 5}}
+	tr := NewTrinomial(q, s)
+	if tr.Integral() != 0 || tr.Trapezoid() != 0 || tr.TrapezoidError() != 0 {
+		t.Fatalf("zero-duration must integrate to zero: %+v", tr)
+	}
+	if d := tr.DistStart(); d != 5 {
+		t.Fatalf("DistStart = %v", d)
+	}
+}
+
+func BenchmarkTrinomialIntegralExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q, s := randSegPair(rng)
+	tr := NewTrinomial(q, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Integral()
+	}
+}
+
+func BenchmarkTrinomialTrapezoid(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q, s := randSegPair(rng)
+	tr := NewTrinomial(q, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Trapezoid()
+	}
+}

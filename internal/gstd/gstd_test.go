@@ -1,0 +1,108 @@
+package gstd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{NumObjects: 50, SamplesPerObject: 101, Seed: 1})
+	if d.Len() != 50 {
+		t.Fatalf("objects = %d", d.Len())
+	}
+	if d.NumSegments() != 50*100 {
+		t.Fatalf("segments = %d", d.NumSegments())
+	}
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trajectory %d invalid: %v", tr.ID, err)
+		}
+		if tr.StartTime() != 0 || tr.EndTime() != 1 {
+			t.Fatalf("trajectory %d spans [%v, %v]", tr.ID, tr.StartTime(), tr.EndTime())
+		}
+		for _, s := range tr.Samples {
+			if s.X < 0 || s.X > 1 || s.Y < 0 || s.Y > 1 {
+				t.Fatalf("sample outside unit workspace: %+v", s)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{NumObjects: 5, SamplesPerObject: 50, Seed: 7})
+	b := Generate(Config{NumObjects: 5, SamplesPerObject: 50, Seed: 7})
+	for i := range a.Trajs {
+		for j := range a.Trajs[i].Samples {
+			if a.Trajs[i].Samples[j] != b.Trajs[i].Samples[j] {
+				t.Fatal("same seed must reproduce the dataset")
+			}
+		}
+	}
+	c := Generate(Config{NumObjects: 5, SamplesPerObject: 50, Seed: 8})
+	same := true
+	for j := range a.Trajs[0].Samples {
+		if a.Trajs[0].Samples[j] != c.Trajs[0].Samples[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.NumObjects != 100 || c.SamplesPerObject != 2001 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Table 2 shape: S0100 has 100 objects × ~2000 segments = 200K entries.
+	d := Generate(Config{Seed: 1})
+	if d.NumSegments() != 100*2000 {
+		t.Fatalf("default segments = %d, want 200000", d.NumSegments())
+	}
+}
+
+func TestObjectsActuallyMove(t *testing.T) {
+	d := Generate(Config{NumObjects: 20, SamplesPerObject: 500, Seed: 3})
+	for i := range d.Trajs {
+		if d.Trajs[i].SpatialLength() < 0.01 {
+			t.Fatalf("trajectory %d barely moves: %v", i, d.Trajs[i].SpatialLength())
+		}
+	}
+}
+
+func TestSpeedDistributions(t *testing.T) {
+	ln := Generate(Config{NumObjects: 10, SamplesPerObject: 200, Seed: 4})
+	nm := Generate(Config{NumObjects: 10, SamplesPerObject: 200, Seed: 4, Speed: Normal, Mu: 1})
+	// Both produce movement; lognormal speeds are strictly positive so no
+	// trajectory is frozen.
+	for i := range ln.Trajs {
+		if ln.Trajs[i].SpatialLength() == 0 {
+			t.Fatal("lognormal trajectory frozen")
+		}
+	}
+	var totalNm float64
+	for i := range nm.Trajs {
+		totalNm += nm.Trajs[i].SpatialLength()
+	}
+	if totalNm == 0 {
+		t.Fatal("normal-speed dataset frozen")
+	}
+}
+
+func TestBounceReflection(t *testing.T) {
+	v, h := bounce(-0.25, 0, true)
+	if v != 0.25 || h != math.Pi {
+		t.Fatalf("bounce(-0.25) = %v, %v", v, h)
+	}
+	v, h = bounce(1.3, math.Pi/2, false)
+	if math.Abs(v-0.7) > 1e-12 || h != -math.Pi/2 {
+		t.Fatalf("bounce(1.3) = %v, %v", v, h)
+	}
+	v, _ = bounce(0.5, 1, true)
+	if v != 0.5 {
+		t.Fatal("in-range value must pass through")
+	}
+}

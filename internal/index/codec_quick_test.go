@@ -1,0 +1,93 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+// Property: encode→decode is the identity for arbitrary well-formed nodes.
+func TestNodeCodecRoundTripQuick(t *testing.T) {
+	f := func(seed int64, leaf bool, prev, next uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := &Node{
+			Page:     storage.PageID(rng.Intn(1000)),
+			Leaf:     leaf,
+			PrevLeaf: storage.PageID(prev),
+			NextLeaf: storage.PageID(next),
+		}
+		if leaf {
+			for i := 0; i < 1+rng.Intn(MaxLeafEntries(4096)); i++ {
+				n.Leaves = append(n.Leaves, LeafEntry{
+					TrajID: trajectory.ID(rng.Uint32()),
+					SeqNo:  rng.Uint32(),
+					Seg: geom.Segment{
+						A: geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6},
+						B: geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6},
+					},
+				})
+			}
+		} else {
+			for i := 0; i < 1+rng.Intn(MaxChildEntries(4096)); i++ {
+				n.Children = append(n.Children, ChildEntry{
+					MBB: geom.MBB{
+						MinX: rng.NormFloat64(), MinY: rng.NormFloat64(), MinT: rng.NormFloat64(),
+						MaxX: rng.NormFloat64(), MaxY: rng.NormFloat64(), MaxT: rng.NormFloat64(),
+					},
+					Page: storage.PageID(rng.Uint32()),
+				})
+			}
+		}
+		buf, err := EncodeNode(n, 4096)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeNode(n.Page, buf)
+		if err != nil {
+			return false
+		}
+		if got.Leaf != n.Leaf || got.PrevLeaf != n.PrevLeaf || got.NextLeaf != n.NextLeaf {
+			return false
+		}
+		if got.Len() != n.Len() {
+			return false
+		}
+		for i := range n.Leaves {
+			if got.Leaves[i] != n.Leaves[i] {
+				return false
+			}
+		}
+		for i := range n.Children {
+			if got.Children[i] != n.Children[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Robustness: decoding arbitrary page bytes must never panic — it returns
+// either an error or some node, but stays in control.
+func TestDecodeNodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		size := rng.Intn(4097)
+		buf := make([]byte, size)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("DecodeNode panicked on %d random bytes: %v", size, r)
+				}
+			}()
+			_, _ = DecodeNode(0, buf)
+		}()
+	}
+}

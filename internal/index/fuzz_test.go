@@ -1,0 +1,31 @@
+package index
+
+import (
+	"testing"
+
+	"mstsearch/internal/storage"
+)
+
+// FuzzDecodeNode feeds arbitrary page bytes to the node decoder: it must
+// return an error or a node, never panic or over-read.
+func FuzzDecodeNode(f *testing.F) {
+	n := &Node{Page: 3, Leaf: true, PrevLeaf: storage.NilPage, NextLeaf: 9}
+	n.Leaves = append(n.Leaves, LeafEntry{TrajID: 1, SeqNo: 2})
+	if seed, err := EncodeNode(n, 512); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, err := DecodeNode(0, data)
+		if err == nil && node == nil {
+			t.Fatal("nil node without error")
+		}
+		if err == nil {
+			// A successfully decoded node must re-encode.
+			if _, err := EncodeNode(node, 1<<20); err != nil {
+				t.Fatalf("decoded node fails to re-encode: %v", err)
+			}
+		}
+	})
+}

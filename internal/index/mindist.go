@@ -1,0 +1,82 @@
+package index
+
+import (
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// MinDistTrajMBB computes MINDIST(Q, N) as adopted by the paper from the
+// NN-search work [6]: the minimum spatial distance between the query
+// trajectory's position and the node's spatial extent over the time span
+// where the query window [t1, t2], the query trajectory and the node
+// temporally coexist. ok is false when there is no such span — the node
+// cannot contain any segment relevant to the query period.
+func MinDistTrajMBB(q *trajectory.Trajectory, b geom.MBB, t1, t2 float64) (float64, bool) {
+	lo := math.Max(t1, math.Max(q.StartTime(), b.MinT))
+	hi := math.Min(t2, math.Min(q.EndTime(), b.MaxT))
+	if lo > hi {
+		return math.Inf(1), false
+	}
+	best := math.Inf(1)
+	rect := b.Rect()
+	for i := 0; i < q.NumSegments(); i++ {
+		s := q.Segment(i)
+		if s.B.T < lo || s.A.T > hi {
+			continue
+		}
+		c, ok := s.ClipTime(lo, hi)
+		if !ok {
+			continue
+		}
+		d := geom.DistSegmentRect(c.A.Spatial(), c.B.Spatial(), rect)
+		if d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		// The window is a single instant between samples; fall back to the
+		// interpolated point.
+		p := q.At(lo)
+		best = rect.DistPoint(p.Spatial())
+	}
+	return best, true
+}
+
+// MinDistTrajSegment computes the minimum distance over time between the
+// query trajectory and one indexed segment inside the window [t1, t2],
+// analogous to MinDistTrajMBB but against a concrete moving point.
+func MinDistTrajSegment(q *trajectory.Trajectory, seg geom.Segment, t1, t2 float64) (float64, bool) {
+	lo := math.Max(t1, math.Max(q.StartTime(), seg.A.T))
+	hi := math.Min(t2, math.Min(q.EndTime(), seg.B.T))
+	if lo > hi {
+		return math.Inf(1), false
+	}
+	best := math.Inf(1)
+	for i := 0; i < q.NumSegments(); i++ {
+		qs := q.Segment(i)
+		if qs.B.T < lo || qs.A.T > hi {
+			continue
+		}
+		l := math.Max(qs.A.T, lo)
+		h := math.Min(qs.B.T, hi)
+		if l > h {
+			continue
+		}
+		qc, _ := qs.ClipTime(l, h)
+		tc, _ := seg.ClipTime(l, h)
+		if d, ok := geom.MinDistSegments(qc, tc); ok && d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		qp := q.At(lo)
+		tp := seg.At(lo)
+		best = qp.Spatial().Dist(tp.Spatial())
+	}
+	return best, true
+}

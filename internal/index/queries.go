@@ -1,0 +1,152 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+// This file provides the "traditional" spatiotemporal queries the paper's
+// introduction says the same index must keep supporting alongside k-MST
+// (§1: "a spatiotemporal index to support both classical range,
+// topological and similarity based queries"). They are written against the
+// Tree interface, so they run on the 3D R-tree and the TB-tree alike.
+
+// RangeSearch returns every leaf entry whose bound intersects box —
+// the classical spatiotemporal window query.
+func RangeSearch(t Tree, box geom.MBB) ([]LeafEntry, error) {
+	root := t.Root()
+	if root == storage.NilPage {
+		return nil, nil
+	}
+	var out []LeafEntry
+	stack := []storage.PageID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.ReadNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.Leaf {
+			for _, e := range n.Leaves {
+				if e.MBB().Intersects(box) {
+					out = append(out, e)
+				}
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c.MBB.Intersects(box) {
+				stack = append(stack, c.Page)
+			}
+		}
+	}
+	return out, nil
+}
+
+// NNResult is one nearest-neighbour answer: a moving object and its
+// distance from the query point at the query instant.
+type NNResult struct {
+	TrajID trajectory.ID
+	Dist   float64
+}
+
+// nnItem is a heap element of the best-first point-NN search.
+type nnItem struct {
+	page storage.PageID
+	dist float64
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NearestAt answers the historical point-NN query: the k moving objects
+// closest to point p at time instant t (after the NN algorithms of [6]).
+// It traverses nodes best-first by spatial MINDIST, skipping subtrees whose
+// time span does not contain t, and terminates once the next node cannot
+// beat the current k-th distance. Each object is reported once, at its
+// interpolated position's distance.
+func NearestAt(tr Tree, p geom.Point, t float64, k int) ([]NNResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	root := tr.Root()
+	if root == storage.NilPage {
+		return nil, nil
+	}
+	best := map[trajectory.ID]float64{}
+	kth := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		ds := make([]float64, 0, len(best))
+		for _, d := range best {
+			ds = append(ds, d)
+		}
+		sort.Float64s(ds)
+		return ds[k-1]
+	}
+	var queue nnQueue
+	heap.Push(&queue, nnItem{page: root, dist: 0})
+	for queue.Len() > 0 {
+		it := heap.Pop(&queue).(nnItem)
+		if it.dist > kth() {
+			break
+		}
+		n, err := tr.ReadNode(it.page)
+		if err != nil {
+			return nil, err
+		}
+		if n.Leaf {
+			for _, e := range n.Leaves {
+				if t < e.Seg.A.T || t > e.Seg.B.T {
+					continue
+				}
+				d := e.Seg.At(t).Spatial().Dist(p)
+				if cur, ok := best[e.TrajID]; !ok || d < cur {
+					best[e.TrajID] = d
+				}
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if t < c.MBB.MinT || t > c.MBB.MaxT {
+				continue
+			}
+			d := c.MBB.Rect().DistPoint(p)
+			if d <= kth() {
+				heap.Push(&queue, nnItem{page: c.Page, dist: math.Max(d, it.dist)})
+			}
+		}
+	}
+	out := make([]NNResult, 0, len(best))
+	for id, d := range best {
+		out = append(out, NNResult{TrajID: id, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].TrajID < out[j].TrajID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package mst
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/index"
+	"mstsearch/internal/rtree"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/tbtree"
+)
+
+// Every page-read fault during a search must surface as an error, never a
+// silent wrong answer or a panic.
+func TestSearchPropagatesReadFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := makeDataset(rng, 30, 50)
+	f := storage.NewFile(1024)
+	rt := rtree.New(f)
+	for i := range data.Trajs {
+		tr := &data.Trajs[i]
+		for s := 0; s < tr.NumSegments(); s++ {
+			if err := rt.Insert(index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q := queryFrom(rng, &data.Trajs[0], 10, 40)
+
+	// Fault injected at increasing read depths: every failure must come
+	// back as ErrInjected.
+	for at := uint64(1); at <= 30; at += 3 {
+		fp := &storage.FaultyPager{Inner: f, FailReadAt: at}
+		view := rtree.Open(fp, rt.Meta())
+		_, _, err := Search(view, &q, 10, 40, Options{K: 2, Vmax: 100})
+		if err == nil {
+			// Search finished before the fault triggered — acceptable once
+			// the search reads fewer than `at` pages.
+			continue
+		}
+		if !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("fault at read %d: got %v, want ErrInjected", at, err)
+		}
+	}
+}
+
+// Build-time write faults must propagate from both tree builders.
+func TestBuildPropagatesWriteFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	data := makeDataset(rng, 10, 40)
+
+	for at := uint64(1); at <= 20; at += 4 {
+		fp := &storage.FaultyPager{Inner: storage.NewFile(1024), FailWriteAt: at}
+		rt := rtree.New(fp)
+		var err error
+		for i := range data.Trajs {
+			tr := &data.Trajs[i]
+			for s := 0; s < tr.NumSegments() && err == nil; s++ {
+				err = rt.Insert(index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)})
+			}
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("rtree build fault at write %d: got %v", at, err)
+		}
+	}
+	for at := uint64(1); at <= 20; at += 4 {
+		fp := &storage.FaultyPager{Inner: storage.NewFile(1024), FailWriteAt: at}
+		tb := tbtree.New(fp)
+		var err error
+		for i := range data.Trajs {
+			if err = tb.InsertTrajectory(&data.Trajs[i]); err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("tbtree build fault at write %d: got %v", at, err)
+		}
+	}
+}

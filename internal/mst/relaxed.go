@@ -1,0 +1,166 @@
+package mst
+
+import (
+	"math"
+	"sort"
+
+	"mstsearch/internal/dissim"
+	"mstsearch/internal/trajectory"
+)
+
+// This file implements the Time-Relaxed MST query the paper names as
+// future work (§6): "the minimum dissimilarity between trajectories
+// regardless of the time instance in which the query object starts". The
+// query trajectory is slid along the time axis and the best alignment is
+// found:
+//
+//	TRDISSIM(Q, T) = min over τ of DISSIM(Q shifted by τ, T)
+//
+// where the shifted query's period must lie inside T's lifespan. The
+// objective is a piecewise-smooth function of τ (each piece corresponds to
+// one interleaving of the two sample grids), so it is minimized by a
+// coarse grid scan followed by golden-section refinement of the best
+// bracket.
+
+// RelaxedOptions tunes the offset optimization.
+type RelaxedOptions struct {
+	// GridSteps is the number of coarse offsets probed across the feasible
+	// range (default 64).
+	GridSteps int
+	// Tolerance is the absolute offset tolerance of the refinement stage
+	// (default: feasible range / 1e6).
+	Tolerance float64
+}
+
+func (o *RelaxedOptions) normalize(span float64) {
+	if o.GridSteps < 2 {
+		o.GridSteps = 64
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = span / 1e6
+	}
+}
+
+// RelaxedResult is one time-relaxed answer.
+type RelaxedResult struct {
+	TrajID trajectory.ID
+	// Dissim is the minimum DISSIM over all feasible time shifts.
+	Dissim float64
+	// Offset is the time shift achieving it (added to the query's
+	// timestamps).
+	Offset float64
+}
+
+// RelaxedDissim computes TRDISSIM(q, t): the smallest exact DISSIM over
+// every feasible time shift of q, together with the best shift. ok is
+// false when t's lifespan is shorter than q's (no feasible shift).
+func RelaxedDissim(q, t *trajectory.Trajectory, opts RelaxedOptions) (best float64, offset float64, ok bool) {
+	qDur := q.Duration()
+	lo := t.StartTime() - q.StartTime()
+	hi := t.EndTime() - q.EndTime()
+	if hi < lo || qDur <= 0 {
+		return 0, 0, false
+	}
+	opts.normalize(math.Max(hi-lo, qDur))
+
+	eval := func(tau float64) float64 {
+		d, covered := shiftedDissim(q, t, tau)
+		if !covered {
+			return math.Inf(1)
+		}
+		return d
+	}
+
+	// Degenerate feasible range: single offset.
+	if hi == lo {
+		return eval(lo), lo, true
+	}
+
+	// Coarse grid.
+	bestTau := lo
+	best = math.Inf(1)
+	step := (hi - lo) / float64(opts.GridSteps)
+	for i := 0; i <= opts.GridSteps; i++ {
+		tau := lo + float64(i)*step
+		if v := eval(tau); v < best {
+			best, bestTau = v, tau
+		}
+	}
+
+	// Golden-section refinement inside the bracket around the best grid
+	// point. The objective is piecewise smooth and typically unimodal near
+	// its minimum; refinement inside one bracket can only improve on the
+	// grid answer.
+	a := math.Max(lo, bestTau-step)
+	b := math.Min(hi, bestTau+step)
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := eval(x1), eval(x2)
+	for b-a > opts.Tolerance {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = eval(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = eval(x2)
+		}
+	}
+	mid := (a + b) / 2
+	if v := eval(mid); v < best {
+		best, bestTau = v, mid
+	}
+	if f1 < best {
+		best, bestTau = f1, x1
+	}
+	if f2 < best {
+		best, bestTau = f2, x2
+	}
+	return best, bestTau, true
+}
+
+// shiftedDissim evaluates DISSIM between q shifted by tau and t over the
+// shifted query period.
+func shiftedDissim(q, t *trajectory.Trajectory, tau float64) (float64, bool) {
+	sq := ShiftTime(q, tau)
+	return dissim.Exact(&sq, t, sq.StartTime(), sq.EndTime())
+}
+
+// ShiftTime returns a copy of tr with every timestamp moved by dt.
+func ShiftTime(tr *trajectory.Trajectory, dt float64) trajectory.Trajectory {
+	out := tr.Clone()
+	for i := range out.Samples {
+		out.Samples[i].T += dt
+	}
+	return out
+}
+
+// RelaxedScan answers a time-relaxed k-MST query by scanning the dataset
+// with RelaxedDissim — the reference implementation of the paper's §6
+// research direction. Trajectories shorter than the query are skipped.
+func RelaxedScan(data *trajectory.Dataset, q *trajectory.Trajectory, k int, opts RelaxedOptions) []RelaxedResult {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]RelaxedResult, 0, data.Len())
+	for i := range data.Trajs {
+		tr := &data.Trajs[i]
+		d, off, ok := RelaxedDissim(q, tr, opts)
+		if !ok {
+			continue
+		}
+		out = append(out, RelaxedResult{TrajID: tr.ID, Dissim: d, Offset: off})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dissim != out[j].Dissim {
+			return out[i].Dissim < out[j].Dissim
+		}
+		return out[i].TrajID < out[j].TrajID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/dissim"
+	"mstsearch/internal/trajectory"
+)
+
+func lineAt(id trajectory.ID, t0, dur float64, n int) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: id, Samples: make([]trajectory.Sample, n)}
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		tr.Samples[i] = trajectory.Sample{X: 100 * f, Y: 0, T: t0 + dur*f}
+	}
+	return tr
+}
+
+func TestShiftTime(t *testing.T) {
+	tr := lineAt(1, 0, 10, 5)
+	sh := ShiftTime(&tr, 3.5)
+	if sh.StartTime() != 3.5 || sh.EndTime() != 13.5 {
+		t.Fatalf("shifted span [%v, %v]", sh.StartTime(), sh.EndTime())
+	}
+	// Original untouched; spatial course unchanged.
+	if tr.StartTime() != 0 {
+		t.Fatal("ShiftTime must not mutate its input")
+	}
+	for i := range sh.Samples {
+		if sh.Samples[i].X != tr.Samples[i].X {
+			t.Fatal("shift must not move positions")
+		}
+	}
+}
+
+func TestRelaxedDissimFindsKnownOffset(t *testing.T) {
+	// T drives the same course as Q but 7 time units later. The relaxed
+	// dissimilarity must be ~0 at offset ~7.
+	q := lineAt(0, 0, 10, 21)
+	tr := lineAt(1, 7, 10, 33) // different sampling rate too
+	d, off, ok := RelaxedDissim(&q, &tr, RelaxedOptions{})
+	if !ok {
+		t.Fatal("feasible shift expected")
+	}
+	if math.Abs(off-7) > 1e-3 {
+		t.Fatalf("offset = %v, want ≈7", off)
+	}
+	if d > 1e-6 {
+		t.Fatalf("relaxed dissim = %v, want ≈0", d)
+	}
+}
+
+func TestRelaxedDissimInfeasible(t *testing.T) {
+	q := lineAt(0, 0, 10, 5)
+	short := lineAt(1, 0, 5, 5) // lifespan shorter than the query
+	if _, _, ok := RelaxedDissim(&q, &short, RelaxedOptions{}); ok {
+		t.Fatal("shorter candidate must be infeasible")
+	}
+}
+
+func TestRelaxedDissimExactFitSingleOffset(t *testing.T) {
+	// Candidate exactly as long as the query: only offset lo==hi feasible.
+	q := lineAt(0, 3, 10, 11)
+	tr := lineAt(1, 20, 10, 11)
+	d, off, ok := RelaxedDissim(&q, &tr, RelaxedOptions{})
+	if !ok || math.Abs(off-17) > 1e-12 {
+		t.Fatalf("off=%v ok=%v, want 17", off, ok)
+	}
+	if d > 1e-9 {
+		t.Fatalf("d = %v", d)
+	}
+}
+
+// The relaxed dissimilarity can never exceed the fixed-time dissimilarity
+// when offset 0 is feasible.
+func TestRelaxedNeverWorseThanFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		mk := func(id trajectory.ID, t0, dur float64) trajectory.Trajectory {
+			n := 8 + rng.Intn(20)
+			tr := trajectory.Trajectory{ID: id, Samples: make([]trajectory.Sample, n)}
+			x, y := rng.Float64()*50, rng.Float64()*50
+			for i := 0; i < n; i++ {
+				tr.Samples[i] = trajectory.Sample{X: x, Y: y, T: t0 + dur*float64(i)/float64(n-1)}
+				x += rng.NormFloat64() * 3
+				y += rng.NormFloat64() * 3
+			}
+			return tr
+		}
+		q := mk(0, 2, 6)
+		tr := mk(1, 0, 10)
+		fixed, ok := dissim.Exact(&q, &tr, q.StartTime(), q.EndTime())
+		if !ok {
+			t.Fatal("offset 0 should be feasible")
+		}
+		relaxed, _, ok := RelaxedDissim(&q, &tr, RelaxedOptions{})
+		if !ok {
+			t.Fatal("relaxed should be feasible")
+		}
+		if relaxed > fixed+1e-9 {
+			t.Fatalf("iter %d: relaxed %v > fixed %v", iter, relaxed, fixed)
+		}
+	}
+}
+
+func TestRelaxedScanRanking(t *testing.T) {
+	// Three candidates: same course shifted by 5 (perfect under relaxed),
+	// same course offset spatially by 3 (imperfect at any shift), and a
+	// far-away course. The relaxed ranking must order them exactly.
+	q := lineAt(0, 0, 10, 15)
+	same := lineAt(1, 5, 10, 25)
+	shifted := lineAt(2, 5, 10, 25)
+	for i := range shifted.Samples {
+		shifted.Samples[i].Y = 3
+	}
+	far := lineAt(3, 0, 20, 25)
+	for i := range far.Samples {
+		far.Samples[i].Y = 500
+	}
+	data, err := trajectory.NewDataset([]trajectory.Trajectory{same, shifted, far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RelaxedScan(data, &q, 3, RelaxedOptions{})
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].TrajID != 1 || res[1].TrajID != 2 || res[2].TrajID != 3 {
+		t.Fatalf("ranking = %+v", res)
+	}
+	if res[0].Dissim > 1e-6 {
+		t.Fatalf("twin dissim = %v", res[0].Dissim)
+	}
+	// The spatially shifted twin's optimum is the constant-offset area 3·10.
+	if math.Abs(res[1].Dissim-30) > 0.5 {
+		t.Fatalf("offset twin dissim = %v, want ≈30", res[1].Dissim)
+	}
+}
+
+func TestRelaxedScanKClamp(t *testing.T) {
+	q := lineAt(0, 0, 10, 5)
+	tr := lineAt(1, 0, 10, 5)
+	data, _ := trajectory.NewDataset([]trajectory.Trajectory{tr})
+	if got := RelaxedScan(data, &q, 0, RelaxedOptions{}); len(got) != 1 {
+		t.Fatalf("k=0 should clamp to 1, got %d results", len(got))
+	}
+}

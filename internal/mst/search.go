@@ -1,0 +1,463 @@
+// Package mst implements BFMSTSearch, the paper's best-first k-Most-
+// Similar-Trajectory algorithm (§4) over any index.Tree. The algorithm
+// visits tree nodes in increasing MINDIST order, incrementally assembles
+// per-candidate dissimilarity state (the Valid / Completed / Rejected
+// structures of Fig. 7), and prunes with:
+//
+//   - Heuristic 1: a candidate whose OPTDISSIM exceeds the current k-th
+//     best upper bound can never be an answer → Rejected;
+//   - Heuristic 2: once a node's MINDISSIMINC exceeds the k-th best upper
+//     bound, that node and — because nodes are reported in MINDIST order —
+//     every remaining node can be discarded, terminating the search.
+//
+// Error management (§4.4) is integrated throughout: every comparison uses
+// certified bounds (approximation ± Lemma 1 error), and an optional
+// post-processing step recomputes the exact DISSIM of the candidates whose
+// error intervals straddle the k-th boundary.
+package mst
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mstsearch/internal/dissim"
+	"mstsearch/internal/geom"
+	"mstsearch/internal/index"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+// Options configures a search.
+type Options struct {
+	// K is the number of most similar trajectories to return (default 1).
+	K int
+	// Vmax is the maximum relative speed — the sum of the maximum speed of
+	// indexed trajectories and the query's maximum speed (Table 1). It
+	// powers the speed-dependent OPTDISSIM/PESDISSIM bounds; if ≤ 0 those
+	// bounds are disabled and only speed-independent pruning is used.
+	Vmax float64
+	// Refine is the per-interval trapezoid refinement factor (≥ 1;
+	// 1 reproduces Lemma 1 exactly as stated).
+	Refine int
+	// DisableHeuristic1 turns off OPTDISSIM-based candidate rejection
+	// (ablation).
+	DisableHeuristic1 bool
+	// DisableHeuristic2 turns off MINDISSIMINC-based early termination
+	// (ablation).
+	DisableHeuristic2 bool
+	// Data, when non-nil, enables the §4.4 post-processing step: exact
+	// DISSIM recomputation for candidates whose error intervals overlap
+	// the k-th boundary.
+	Data *trajectory.Dataset
+	// ExcludeIDs are trajectories never reported (nor used to tighten
+	// bounds) — typically the query's own stored twin when searching "more
+	// like this one".
+	ExcludeIDs []trajectory.ID
+}
+
+func (o *Options) normalize() {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.Refine < 1 {
+		o.Refine = 1
+	}
+}
+
+// Result is one answer of a k-MST query, ordered most similar first.
+type Result struct {
+	TrajID trajectory.ID
+	// Dissim is the trajectory's dissimilarity from the query: exact when
+	// the post-processing step ran for it (Err == 0), otherwise the
+	// trapezoid approximation with Err its certified bound.
+	Dissim float64
+	Err    float64
+}
+
+// Stats reports the work a search performed.
+type Stats struct {
+	NodesAccessed   int     // tree nodes popped and read
+	LeavesAccessed  int     // of which leaves
+	TotalNodes      int     // nodes in the tree
+	PruningPower    float64 // 1 − NodesAccessed/TotalNodes
+	Enqueued        int     // heap insertions
+	Completed       int     // candidates fully assembled
+	Rejected        int     // candidates pruned by Heuristic 1
+	TerminatedEarly bool    // Heuristic 2 fired before queue exhaustion
+	ExactRefined    int     // candidates recomputed exactly in post-processing
+}
+
+// ErrBadQuery reports an unusable query trajectory or period.
+var ErrBadQuery = errors.New("mst: query trajectory must cover the query period")
+
+// queueItem is a tree node awaiting processing, keyed by MINDIST.
+type queueItem struct {
+	page storage.PageID
+	dist float64
+}
+
+type nodeQueue []queueItem
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(queueItem)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+type candState int
+
+const (
+	stateValid candState = iota
+	stateCompleted
+	stateRejected
+)
+
+// candidate is the per-trajectory search state: its Partial interval list
+// plus the certified [lo, hi] interval its exact DISSIM must lie in.
+type candidate struct {
+	id      trajectory.ID
+	partial *dissim.Partial
+	state   candState
+	lo, hi  float64
+}
+
+// searcher carries one query's mutable state.
+type searcher struct {
+	tree  index.Tree
+	q     *trajectory.Trajectory
+	t1    float64
+	t2    float64
+	opts  Options
+	stats Stats
+
+	queue nodeQueue
+	cands map[trajectory.ID]*candidate
+
+	tau      float64 // cached k-th smallest hi over candidates
+	tauDirty bool
+
+	segTraj trajectory.Trajectory // reusable 2-sample wrapper
+}
+
+// Search runs BFMSTSearch on the tree for query trajectory q during
+// [t1, t2], returning the k most similar trajectories (most similar first)
+// and the search statistics.
+func Search(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Options) ([]Result, Stats, error) {
+	opts.normalize()
+	if q == nil || !(t1 < t2) || !q.Covers(t1, t2) {
+		return nil, Stats{}, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
+	}
+	s := &searcher{
+		tree:     tree,
+		q:        q,
+		t1:       t1,
+		t2:       t2,
+		opts:     opts,
+		cands:    make(map[trajectory.ID]*candidate),
+		tau:      math.Inf(1),
+		tauDirty: false,
+	}
+	s.stats.TotalNodes = tree.NumNodes()
+	s.segTraj.Samples = make([]trajectory.Sample, 2)
+	for _, id := range opts.ExcludeIDs {
+		s.cands[id] = &candidate{id: id, state: stateRejected, hi: math.Inf(1)}
+	}
+	if err := s.run(); err != nil {
+		return nil, s.stats, err
+	}
+	res := s.finalize()
+	if s.stats.TotalNodes > 0 {
+		s.stats.PruningPower = 1 - float64(s.stats.NodesAccessed)/float64(s.stats.TotalNodes)
+	}
+	return res, s.stats, nil
+}
+
+func (s *searcher) run() error {
+	root := s.tree.Root()
+	if root == storage.NilPage {
+		return nil
+	}
+	rootMBB := s.tree.RootMBB()
+	if !rootMBB.OverlapsTime(s.t1, s.t2) {
+		return nil
+	}
+	d, ok := index.MinDistTrajMBB(s.q, rootMBB, s.t1, s.t2)
+	if !ok {
+		return nil
+	}
+	heap.Push(&s.queue, queueItem{page: root, dist: d})
+	s.stats.Enqueued++
+
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(queueItem)
+
+		// Heuristic 2: MINDISSIMINC test. Because nodes pop in MINDIST
+		// order, a positive test terminates the whole search (paper lines
+		// 5-7).
+		if !s.opts.DisableHeuristic2 && s.completedCount() >= s.opts.K {
+			if s.minDissimInc(it.dist) > s.threshold() {
+				s.stats.TerminatedEarly = true
+				return nil
+			}
+		}
+
+		n, err := s.tree.ReadNode(it.page)
+		if err != nil {
+			return err
+		}
+		s.stats.NodesAccessed++
+		if n.Leaf {
+			s.stats.LeavesAccessed++
+			s.processLeaf(n, it.dist)
+			continue
+		}
+		for _, c := range n.Children {
+			if !c.MBB.OverlapsTime(s.t1, s.t2) {
+				continue
+			}
+			d, ok := index.MinDistTrajMBB(s.q, c.MBB, s.t1, s.t2)
+			if !ok {
+				continue
+			}
+			if d < it.dist {
+				d = it.dist // enforce MINDIST monotonicity under round-off
+			}
+			heap.Push(&s.queue, queueItem{page: c.Page, dist: d})
+			s.stats.Enqueued++
+		}
+	}
+	return nil
+}
+
+// processLeaf sweeps the leaf's entries (paper lines 9-30). Entries are
+// handled in temporal order; the TB-tree stores them that way already and
+// the sort is cheap for R-tree leaves.
+func (s *searcher) processLeaf(n *index.Node, nodeDist float64) {
+	entries := n.Leaves
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].Seg.A.T < entries[j].Seg.A.T }) {
+		sorted := make([]index.LeafEntry, len(entries))
+		copy(sorted, entries)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seg.A.T < sorted[j].Seg.A.T })
+		entries = sorted
+	}
+	for _, e := range entries {
+		if e.Seg.B.T < s.t1 || e.Seg.A.T > s.t2 {
+			continue
+		}
+		cand, rejected := s.candidateFor(e.TrajID)
+		if rejected {
+			continue
+		}
+		s.addEntry(cand, e)
+		s.updateCandidate(cand, nodeDist)
+	}
+}
+
+// candidateFor fetches or creates the candidate list for a trajectory,
+// reporting whether it is already rejected (paper lines 12-13).
+func (s *searcher) candidateFor(id trajectory.ID) (*candidate, bool) {
+	c, ok := s.cands[id]
+	if !ok {
+		c = &candidate{
+			id:      id,
+			partial: dissim.NewPartial(s.t1, s.t2),
+			lo:      0,
+			hi:      math.Inf(1),
+		}
+		s.cands[id] = c
+		return c, false
+	}
+	return c, c.state == stateRejected
+}
+
+// addEntry aligns one indexed segment with the query over their common
+// window and folds the resulting intervals into the candidate's Partial
+// (paper lines 15-18: interpolation + DISSIM/bounds bookkeeping).
+func (s *searcher) addEntry(c *candidate, e index.LeafEntry) {
+	lo := math.Max(s.t1, e.Seg.A.T)
+	hi := math.Min(s.t2, e.Seg.B.T)
+	if lo >= hi {
+		return
+	}
+	s.segTraj.ID = e.TrajID
+	s.segTraj.Samples[0] = trajectory.Sample{X: e.Seg.A.X, Y: e.Seg.A.Y, T: e.Seg.A.T}
+	s.segTraj.Samples[1] = trajectory.Sample{X: e.Seg.B.X, Y: e.Seg.B.Y, T: e.Seg.B.T}
+	trajectory.ForEachAligned(s.q, &s.segTraj, lo, hi, func(qs, ts geom.Segment) bool {
+		c.partial.Add(dissim.IntervalOf(qs, ts, s.opts.Refine))
+		return true
+	})
+}
+
+// updateCandidate refreshes the candidate's certified bounds after new
+// intervals arrived, completing or rejecting it (paper lines 19-27).
+func (s *searcher) updateCandidate(c *candidate, nodeDist float64) {
+	if c.state != stateValid {
+		return
+	}
+	if c.partial.Complete() {
+		v := c.partial.Known()
+		c.lo, c.hi = v.Lower(), v.Upper()
+		c.state = stateCompleted
+		s.stats.Completed++
+		s.tauDirty = true
+		return
+	}
+	// Lower bound: speed-independent OPTDISSIMINC always applies; the
+	// speed-dependent OPTDISSIM tightens it when Vmax is known.
+	lo := c.partial.OptDissimInc(nodeDist)
+	if s.opts.Vmax > 0 {
+		lo = math.Max(lo, c.partial.OptDissim(s.opts.Vmax))
+	}
+	c.lo = lo
+	if s.opts.Vmax > 0 {
+		hi := c.partial.PesDissim(s.opts.Vmax)
+		if hi < c.hi {
+			c.hi = hi
+			s.tauDirty = true
+		}
+	}
+	if !s.opts.DisableHeuristic1 && c.lo > s.threshold() {
+		c.state = stateRejected
+		s.stats.Rejected++
+	}
+}
+
+// threshold returns τ: the k-th smallest certified upper bound over all
+// live candidates — no true answer can have DISSIM above it. It is +Inf
+// until k candidates have finite upper bounds.
+func (s *searcher) threshold() float64 {
+	if !s.tauDirty {
+		return s.tau
+	}
+	his := make([]float64, 0, len(s.cands))
+	for _, c := range s.cands {
+		if c.state == stateRejected {
+			continue
+		}
+		if !math.IsInf(c.hi, 1) {
+			his = append(his, c.hi)
+		}
+	}
+	if len(his) < s.opts.K {
+		s.tau = math.Inf(1)
+	} else {
+		sort.Float64s(his)
+		s.tau = his[s.opts.K-1]
+	}
+	s.tauDirty = false
+	return s.tau
+}
+
+// completedCount returns the number of completed candidates.
+func (s *searcher) completedCount() int { return s.stats.Completed }
+
+// minDissimInc evaluates MINDISSIMINC (Definition 6) for the node about to
+// be processed: the smaller of MINDIST·period and the best OPTDISSIMINC
+// over the still-valid partially retrieved candidates (the set SC). The
+// paper's shortcut applies: when MINDIST·period alone cannot exceed the
+// threshold, the SC scan is skipped.
+func (s *searcher) minDissimInc(nodeDist float64) float64 {
+	span := s.t2 - s.t1
+	m := nodeDist * span
+	if m <= s.threshold() {
+		return m
+	}
+	for _, c := range s.cands {
+		if c.state != stateValid {
+			continue
+		}
+		if v := c.partial.OptDissimInc(nodeDist); v < m {
+			m = v
+			if m <= s.threshold() {
+				break
+			}
+		}
+	}
+	return m
+}
+
+// finalize ranks completed candidates, optionally refines the boundary
+// cases exactly (§4.4 post-processing), and returns the k best.
+func (s *searcher) finalize() []Result {
+	var done []*candidate
+	for _, c := range s.cands {
+		if c.state == stateCompleted {
+			done = append(done, c)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		vi := s.midpoint(done[i])
+		vj := s.midpoint(done[j])
+		if vi != vj {
+			return vi < vj
+		}
+		return done[i].id < done[j].id
+	})
+	if len(done) == 0 {
+		return nil
+	}
+
+	k := s.opts.K
+	if s.opts.Data != nil && len(done) > 0 {
+		// Exact refinement (§4.4 post-processing) for every candidate that
+		// could belong to the top k: anything whose certified lower bound
+		// does not exceed the k-th smallest upper bound. This covers both
+		// the returned results (their reported values become exact) and
+		// the boundary cases whose order the approximation error could
+		// scramble.
+		bIdx := k - 1
+		if bIdx >= len(done) {
+			bIdx = len(done) - 1
+		}
+		boundary := done[bIdx].hi
+		for _, c := range done {
+			if c.lo <= boundary && c.err() > 0 {
+				s.refineExact(c)
+			}
+		}
+		sort.Slice(done, func(i, j int) bool {
+			vi := s.midpoint(done[i])
+			vj := s.midpoint(done[j])
+			if vi != vj {
+				return vi < vj
+			}
+			return done[i].id < done[j].id
+		})
+	}
+
+	if len(done) > k {
+		done = done[:k]
+	}
+	out := make([]Result, len(done))
+	for i, c := range done {
+		out[i] = Result{TrajID: c.id, Dissim: s.midpoint(c), Err: c.err()}
+	}
+	return out
+}
+
+// midpoint is the candidate's point estimate: center of its certified
+// interval (equal to the exact value after refinement).
+func (s *searcher) midpoint(c *candidate) float64 { return (c.lo + c.hi) / 2 }
+
+func (c *candidate) err() float64 { return (c.hi - c.lo) / 2 }
+
+// refineExact replaces the candidate's interval with the exact DISSIM.
+func (s *searcher) refineExact(c *candidate) {
+	tr := s.opts.Data.Get(c.id)
+	if tr == nil {
+		return
+	}
+	if v, ok := dissim.Exact(s.q, tr, s.t1, s.t2); ok {
+		c.lo, c.hi = v, v
+		s.stats.ExactRefined++
+	}
+}

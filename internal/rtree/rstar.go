@@ -1,0 +1,114 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"mstsearch/internal/geom"
+)
+
+// SplitAlgorithm selects how overflowing nodes are split.
+type SplitAlgorithm int
+
+// The supported split algorithms. Quadratic is Guttman's original (the
+// default); RStar is the axis/margin-driven split of the R*-tree —
+// "any member of the R-tree family" can host the paper's search (§1), and
+// the two splits let the ablation benches quantify how much node quality
+// affects k-MST pruning.
+const (
+	Quadratic SplitAlgorithm = iota
+	RStar
+)
+
+// SetSplitAlgorithm switches the split used by subsequent Inserts.
+func (t *Tree) SetSplitAlgorithm(a SplitAlgorithm) { t.split = a }
+
+// rstarSplit implements the R*-tree split on 3D boxes: pick the axis with
+// the smallest total margin over all distributions, then the distribution
+// on that axis with the least overlap (ties: least combined volume).
+// Returns the two index groups; both respect minFill.
+func rstarSplit(boxes []geom.MBB, minFill int) (groupA, groupB []int) {
+	n := len(boxes)
+	if minFill < 1 {
+		minFill = 1
+	}
+	maxFill := n - minFill
+
+	type axisKey struct {
+		lower func(b geom.MBB) float64
+		upper func(b geom.MBB) float64
+	}
+	axes := []axisKey{
+		{func(b geom.MBB) float64 { return b.MinX }, func(b geom.MBB) float64 { return b.MaxX }},
+		{func(b geom.MBB) float64 { return b.MinY }, func(b geom.MBB) float64 { return b.MaxY }},
+		{func(b geom.MBB) float64 { return b.MinT }, func(b geom.MBB) float64 { return b.MaxT }},
+	}
+
+	bestAxis, bestMargin := -1, math.Inf(1)
+	type dist struct {
+		order []int
+		split int // group A = order[:split]
+	}
+	perAxis := make([][]dist, len(axes))
+
+	for ai, ax := range axes {
+		// Two sort orders per axis: by lower and by upper value.
+		orders := make([][]int, 2)
+		for oi, key := range []func(geom.MBB) float64{ax.lower, ax.upper} {
+			ord := make([]int, n)
+			for i := range ord {
+				ord[i] = i
+			}
+			sort.Slice(ord, func(i, j int) bool { return key(boxes[ord[i]]) < key(boxes[ord[j]]) })
+			orders[oi] = ord
+		}
+		var margin float64
+		var dists []dist
+		for _, ord := range orders {
+			for split := minFill; split <= maxFill; split++ {
+				a := coverAll(boxes, ord[:split])
+				b := coverAll(boxes, ord[split:])
+				margin += a.Margin() + b.Margin()
+				dists = append(dists, dist{order: ord, split: split})
+			}
+		}
+		perAxis[ai] = dists
+		if margin < bestMargin {
+			bestMargin, bestAxis = margin, ai
+		}
+	}
+
+	// Choose the minimum-overlap distribution on the winning axis.
+	bestOverlap, bestVolume := math.Inf(1), math.Inf(1)
+	var chosen dist
+	for _, d := range perAxis[bestAxis] {
+		a := coverAll(boxes, d.order[:d.split])
+		b := coverAll(boxes, d.order[d.split:])
+		ov := overlapVolume(a, b)
+		vol := a.Volume() + b.Volume()
+		if ov < bestOverlap || (ov == bestOverlap && vol < bestVolume) {
+			bestOverlap, bestVolume, chosen = ov, vol, d
+		}
+	}
+	groupA = append(groupA, chosen.order[:chosen.split]...)
+	groupB = append(groupB, chosen.order[chosen.split:]...)
+	return groupA, groupB
+}
+
+func coverAll(boxes []geom.MBB, idx []int) geom.MBB {
+	b := geom.EmptyMBB()
+	for _, i := range idx {
+		b = b.Expand(boxes[i])
+	}
+	return b
+}
+
+func overlapVolume(a, b geom.MBB) float64 {
+	dx := math.Min(a.MaxX, b.MaxX) - math.Max(a.MinX, b.MinX)
+	dy := math.Min(a.MaxY, b.MaxY) - math.Max(a.MinY, b.MinY)
+	dt := math.Min(a.MaxT, b.MaxT) - math.Max(a.MinT, b.MinT)
+	if dx <= 0 || dy <= 0 || dt <= 0 {
+		return 0
+	}
+	return dx * dy * dt
+}

@@ -1,0 +1,93 @@
+package rtree
+
+import (
+	"math"
+
+	"mstsearch/internal/geom"
+)
+
+// quadraticSplit partitions the boxes (by index) into two groups using
+// Guttman's quadratic algorithm: seed with the pair wasting the most dead
+// volume, then repeatedly assign the entry whose group preference is
+// strongest, force-assigning the tail when a group must take everything
+// left to reach the minimum fill.
+func quadraticSplit(boxes []geom.MBB, minFill int) (groupA, groupB []int) {
+	n := len(boxes)
+	seedA, seedB := pickSeeds(boxes)
+	groupA = append(groupA, seedA)
+	groupB = append(groupB, seedB)
+	mbbA, mbbB := boxes[seedA], boxes[seedB]
+
+	remaining := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, i)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// Force assignment when one group needs all the rest for min fill.
+		if len(groupA)+len(remaining) == minFill {
+			for _, i := range remaining {
+				groupA = append(groupA, i)
+			}
+			return groupA, groupB
+		}
+		if len(groupB)+len(remaining) == minFill {
+			for _, i := range remaining {
+				groupB = append(groupB, i)
+			}
+			return groupA, groupB
+		}
+
+		// PickNext: entry with the greatest preference difference.
+		bestIdx, bestPos := -1, -1
+		bestDiff := -1.0
+		var bestDA, bestDB float64
+		for pos, i := range remaining {
+			dA := mbbA.Enlargement(boxes[i])
+			dB := mbbB.Enlargement(boxes[i])
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestPos, bestDA, bestDB = diff, i, pos, dA, dB
+			}
+		}
+		remaining[bestPos] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+
+		toA := bestDA < bestDB
+		if bestDA == bestDB {
+			// Ties: smaller volume, then fewer entries.
+			switch {
+			case mbbA.Volume() != mbbB.Volume():
+				toA = mbbA.Volume() < mbbB.Volume()
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, bestIdx)
+			mbbA = mbbA.Expand(boxes[bestIdx])
+		} else {
+			groupB = append(groupB, bestIdx)
+			mbbB = mbbB.Expand(boxes[bestIdx])
+		}
+	}
+	return groupA, groupB
+}
+
+// pickSeeds returns the pair of boxes with the largest dead volume when
+// combined — the most wasteful pair to keep together.
+func pickSeeds(boxes []geom.MBB) (int, int) {
+	sa, sb := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(boxes); i++ {
+		for j := i + 1; j < len(boxes); j++ {
+			d := boxes[i].Expand(boxes[j]).Volume() - boxes[i].Volume() - boxes[j].Volume()
+			if d > worst {
+				worst, sa, sb = d, i, j
+			}
+		}
+	}
+	return sa, sb
+}

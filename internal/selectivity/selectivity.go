@@ -1,0 +1,296 @@
+// Package selectivity implements spatiotemporal selectivity estimation for
+// query optimization — the second research direction the paper's
+// conclusions call for (§6, building on Tao, Sun and Papadias's analysis
+// of predictive spatiotemporal queries [18]).
+//
+// The estimator is a 3D (x, y, t) equi-width histogram over the indexed
+// segments. It answers two questions a query optimizer asks:
+//
+//   - EstimateRange: how many segments does a window query select? —
+//     used to decide between an index scan and a sequential scan;
+//   - EstimateKMST: how large is the spatial corridor a k-MST query must
+//     inspect, and roughly how many leaf pages does that cost? — used to
+//     price a similarity query before running it.
+//
+// Both estimates assume per-bucket uniformity, the standard histogram
+// assumption.
+package selectivity
+
+import (
+	"fmt"
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// Histogram is a 3D equi-width histogram of segment density. Segment mass
+// is distributed over the buckets its bounding box overlaps,
+// proportionally to overlap volume, so long segments do not double-count.
+type Histogram struct {
+	bounds     geom.MBB
+	nx, ny, nt int
+	// mass[i] is the expected number of segments "resident" in bucket i;
+	// objMass[i] estimates distinct objects passing through the bucket.
+	mass    []float64
+	objMass []float64
+	total   float64
+	objects int
+}
+
+// Build constructs a histogram with the given resolution (buckets per
+// axis; minimum 1 each) over the dataset.
+func Build(data *trajectory.Dataset, nx, ny, nt int) (*Histogram, error) {
+	if nx < 1 || ny < 1 || nt < 1 {
+		return nil, fmt.Errorf("selectivity: bad resolution %dx%dx%d", nx, ny, nt)
+	}
+	bounds := data.Bounds()
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("selectivity: empty dataset")
+	}
+	h := &Histogram{
+		bounds: bounds, nx: nx, ny: ny, nt: nt,
+		mass:    make([]float64, nx*ny*nt),
+		objMass: make([]float64, nx*ny*nt),
+		objects: data.Len(),
+	}
+	seenObj := make(map[int]trajectory.ID, 64)
+	for i := range data.Trajs {
+		tr := &data.Trajs[i]
+		for s := 0; s < tr.NumSegments(); s++ {
+			box := geom.MBBOfSegment(tr.Segment(s))
+			h.splat(box, 1, h.mass)
+			h.total++
+			// Object presence: count each object at most once per bucket.
+			h.forEachBucket(box, func(idx int, _ float64) {
+				if seenObj[idx] != tr.ID {
+					seenObj[idx] = tr.ID
+					h.objMass[idx]++
+				}
+			})
+		}
+	}
+	return h, nil
+}
+
+// dims returns bucket extents (guarding degenerate axes).
+func (h *Histogram) dims() (dx, dy, dt float64) {
+	dx = (h.bounds.MaxX - h.bounds.MinX) / float64(h.nx)
+	dy = (h.bounds.MaxY - h.bounds.MinY) / float64(h.ny)
+	dt = (h.bounds.MaxT - h.bounds.MinT) / float64(h.nt)
+	if dx <= 0 {
+		dx = 1
+	}
+	if dy <= 0 {
+		dy = 1
+	}
+	if dt <= 0 {
+		dt = 1
+	}
+	return
+}
+
+// bucketRange returns the inclusive bucket index range overlapping [lo,
+// hi] on an axis with n buckets starting at min with width w.
+func bucketRange(lo, hi, min, w float64, n int) (int, int) {
+	a := int(math.Floor((lo - min) / w))
+	b := int(math.Floor((hi - min) / w))
+	if a < 0 {
+		a = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return a, b
+}
+
+// forEachBucket visits every bucket overlapping box with the overlap
+// fraction of the box's volume (degenerate extents treated as points).
+func (h *Histogram) forEachBucket(box geom.MBB, fn func(idx int, frac float64)) {
+	dx, dy, dt := h.dims()
+	x0, x1 := bucketRange(box.MinX, box.MaxX, h.bounds.MinX, dx, h.nx)
+	y0, y1 := bucketRange(box.MinY, box.MaxY, h.bounds.MinY, dy, h.ny)
+	t0, t1 := bucketRange(box.MinT, box.MaxT, h.bounds.MinT, dt, h.nt)
+	overlap1 := func(lo, hi, bmin, w float64, i int) float64 {
+		blo := bmin + float64(i)*w
+		bhi := blo + w
+		if hi <= lo {
+			// Point extent: fully inside exactly one bucket.
+			if lo >= blo && lo <= bhi {
+				return 1
+			}
+			return 0
+		}
+		ov := math.Min(hi, bhi) - math.Max(lo, blo)
+		if ov <= 0 {
+			return 0
+		}
+		return ov / (hi - lo)
+	}
+	for xi := x0; xi <= x1; xi++ {
+		fx := overlap1(box.MinX, box.MaxX, h.bounds.MinX, dx, xi)
+		if fx == 0 {
+			continue
+		}
+		for yi := y0; yi <= y1; yi++ {
+			fy := overlap1(box.MinY, box.MaxY, h.bounds.MinY, dy, yi)
+			if fy == 0 {
+				continue
+			}
+			for ti := t0; ti <= t1; ti++ {
+				ft := overlap1(box.MinT, box.MaxT, h.bounds.MinT, dt, ti)
+				if ft == 0 {
+					continue
+				}
+				fn((xi*h.ny+yi)*h.nt+ti, fx*fy*ft)
+			}
+		}
+	}
+}
+
+// splat distributes mass over the buckets a box overlaps.
+func (h *Histogram) splat(box geom.MBB, mass float64, into []float64) {
+	h.forEachBucket(box, func(idx int, frac float64) {
+		into[idx] += mass * frac
+	})
+}
+
+// Total returns the number of segments summarized.
+func (h *Histogram) Total() float64 { return h.total }
+
+// EstimateRange estimates how many segments a window query over box
+// selects: per bucket, the resident mass scaled by the query's coverage of
+// the bucket, with a dilation term for segments straddling the boundary
+// (captured implicitly by the proportional splatting at build time).
+func (h *Histogram) EstimateRange(box geom.MBB) float64 {
+	if !box.Intersects(h.bounds) {
+		return 0
+	}
+	dx, dy, dt := h.dims()
+	x0, x1 := bucketRange(box.MinX, box.MaxX, h.bounds.MinX, dx, h.nx)
+	y0, y1 := bucketRange(box.MinY, box.MaxY, h.bounds.MinY, dy, h.ny)
+	t0, t1 := bucketRange(box.MinT, box.MaxT, h.bounds.MinT, dt, h.nt)
+	cover1 := func(qlo, qhi, bmin, w float64, i int) float64 {
+		blo := bmin + float64(i)*w
+		bhi := blo + w
+		ov := math.Min(qhi, bhi) - math.Max(qlo, blo)
+		if ov <= 0 {
+			return 0
+		}
+		return ov / w
+	}
+	var est float64
+	for xi := x0; xi <= x1; xi++ {
+		cx := cover1(box.MinX, box.MaxX, h.bounds.MinX, dx, xi)
+		for yi := y0; yi <= y1; yi++ {
+			cy := cover1(box.MinY, box.MaxY, h.bounds.MinY, dy, yi)
+			for ti := t0; ti <= t1; ti++ {
+				ct := cover1(box.MinT, box.MaxT, h.bounds.MinT, dt, ti)
+				est += h.mass[(xi*h.ny+yi)*h.nt+ti] * cx * cy * ct
+			}
+		}
+	}
+	return est
+}
+
+// Selectivity returns EstimateRange as a fraction of all segments.
+func (h *Histogram) Selectivity(box geom.MBB) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.EstimateRange(box) / h.total
+}
+
+// KMSTEstimate is the optimizer-facing cost estimate of a k-MST query.
+type KMSTEstimate struct {
+	// Radius is the estimated spatial corridor radius within which the k
+	// most similar trajectories travel.
+	Radius float64
+	// Segments is the expected number of segments inside the corridor —
+	// the leaf-entry workload of the search.
+	Segments float64
+	// LeafPages approximates Segments / leaf fan-out.
+	LeafPages float64
+}
+
+// EstimateKMST prices a k-MST query for query trajectory q over [t1, t2]:
+// it grows a corridor around the query's course until the histogram
+// predicts ≥ k distinct objects inside it, then reports the segment mass
+// of that corridor. leafFanout converts segments to leaf pages (the
+// dominant I/O term of BFMSTSearch).
+func (h *Histogram) EstimateKMST(q *trajectory.Trajectory, t1, t2 float64, k, leafFanout int) KMSTEstimate {
+	if k < 1 {
+		k = 1
+	}
+	if leafFanout < 1 {
+		leafFanout = 1
+	}
+	dx, dy, _ := h.dims()
+	base := math.Max(dx, dy) / 2
+	radius := base
+	maxR := math.Max(h.bounds.MaxX-h.bounds.MinX, h.bounds.MaxY-h.bounds.MinY)
+	var objs, segs float64
+	for {
+		objs, segs = h.corridorMass(q, t1, t2, radius)
+		if objs >= float64(k) || radius > maxR {
+			break
+		}
+		radius *= 1.5
+	}
+	return KMSTEstimate{
+		Radius:    radius,
+		Segments:  segs,
+		LeafPages: math.Ceil(segs / float64(leafFanout)),
+	}
+}
+
+// corridorMass sums the segment mass of the buckets within radius of the
+// query's course during [t1, t2] and derives the expected number of
+// distinct objects living in the corridor: corridor segments divided by
+// the average number of segments one object contributes during the query
+// period (total/objects scaled by the period's share of the time domain).
+func (h *Histogram) corridorMass(q *trajectory.Trajectory, t1, t2 float64, radius float64) (objs, segs float64) {
+	seen := make(map[int]bool)
+	for i := 0; i < q.NumSegments(); i++ {
+		seg := q.Segment(i)
+		c, ok := seg.ClipTime(t1, t2)
+		if !ok || c.Duration() <= 0 {
+			continue
+		}
+		box := geom.MBBOfSegment(c)
+		box.MinX -= radius
+		box.MinY -= radius
+		box.MaxX += radius
+		box.MaxY += radius
+		h.forEachBucket(box, func(idx int, _ float64) {
+			if !seen[idx] {
+				seen[idx] = true
+				segs += h.mass[idx]
+			}
+		})
+	}
+	if h.objects > 0 && h.total > 0 {
+		span := h.bounds.MaxT - h.bounds.MinT
+		frac := 1.0
+		if span > 0 {
+			frac = math.Min(1, math.Max(1e-9, (t2-t1)/span))
+		}
+		segsPerObj := h.total / float64(h.objects) * frac
+		if segsPerObj > 0 {
+			objs = segs / segsPerObj
+		}
+	}
+	return objs, segs
+}
+
+// EstimateDistinctObjects coarsely bounds the number of distinct objects
+// intersecting box: the sum of per-bucket object presences (an
+// overestimate for objects spanning buckets) clamped by the dataset
+// cardinality.
+func (h *Histogram) EstimateDistinctObjects(box geom.MBB) float64 {
+	var sum float64
+	h.forEachBucket(box, func(idx int, _ float64) {
+		sum += h.objMass[idx]
+	})
+	return math.Min(sum, float64(h.objects))
+}

@@ -1,0 +1,175 @@
+package selectivity
+
+import (
+	"math"
+	"testing"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/gstd"
+	"mstsearch/internal/index"
+	"mstsearch/internal/trajectory"
+)
+
+func dataset(seed int64) *trajectory.Dataset {
+	return gstd.Generate(gstd.Config{NumObjects: 40, SamplesPerObject: 301, Seed: seed})
+}
+
+// trueRangeCount is the brute-force ground truth: segments whose MBB
+// intersects the box.
+func trueRangeCount(d *trajectory.Dataset, box geom.MBB) int {
+	n := 0
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		for s := 0; s < tr.NumSegments(); s++ {
+			if geom.MBBOfSegment(tr.Segment(s)).Intersects(box) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := dataset(1)
+	if _, err := Build(d, 0, 4, 4); err == nil {
+		t.Fatal("zero resolution must fail")
+	}
+	empty, _ := trajectory.NewDataset(nil)
+	if _, err := Build(empty, 4, 4, 4); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+	h, err := Build(d, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Total()-float64(d.NumSegments())) > 1e-6 {
+		t.Fatalf("total mass %v, want %d", h.Total(), d.NumSegments())
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	d := dataset(2)
+	h, err := Build(d, 6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, m := range h.mass {
+		sum += m
+	}
+	if math.Abs(sum-float64(d.NumSegments())) > 1e-6*float64(d.NumSegments()) {
+		t.Fatalf("splatted mass %v, want %d", sum, d.NumSegments())
+	}
+}
+
+func TestEstimateRangeWholeDomain(t *testing.T) {
+	d := dataset(3)
+	h, err := Build(d, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := d.Bounds()
+	est := h.EstimateRange(all)
+	if math.Abs(est-float64(d.NumSegments())) > 0.01*float64(d.NumSegments()) {
+		t.Fatalf("whole-domain estimate %v, want %d", est, d.NumSegments())
+	}
+	if s := h.Selectivity(all); math.Abs(s-1) > 0.01 {
+		t.Fatalf("whole-domain selectivity %v", s)
+	}
+	// Disjoint box.
+	far := geom.MBB{MinX: 100, MinY: 100, MinT: 100, MaxX: 101, MaxY: 101, MaxT: 101}
+	if est := h.EstimateRange(far); est != 0 {
+		t.Fatalf("disjoint estimate %v", est)
+	}
+}
+
+// Calibration: on GSTD data the histogram estimate should land within a
+// small factor of the true count for mid-size windows.
+func TestEstimateRangeCalibration(t *testing.T) {
+	d := dataset(4)
+	h, err := Build(d, 12, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []geom.MBB{
+		{MinX: 0.2, MinY: 0.2, MinT: 0.2, MaxX: 0.6, MaxY: 0.6, MaxT: 0.5},
+		{MinX: 0.0, MinY: 0.0, MinT: 0.0, MaxX: 0.5, MaxY: 0.5, MaxT: 1.0},
+		{MinX: 0.4, MinY: 0.1, MinT: 0.5, MaxX: 0.9, MaxY: 0.5, MaxT: 0.8},
+		{MinX: 0.1, MinY: 0.6, MinT: 0.0, MaxX: 0.4, MaxY: 0.95, MaxT: 0.4},
+	}
+	for i, box := range cases {
+		est := h.EstimateRange(box)
+		truth := float64(trueRangeCount(d, box))
+		if truth < 50 {
+			continue // too small for a meaningful ratio
+		}
+		ratio := est / truth
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("case %d: estimate %v vs truth %v (ratio %.2f)", i, est, truth, ratio)
+		}
+	}
+}
+
+// Monotonicity: growing the window never shrinks the estimate.
+func TestEstimateRangeMonotone(t *testing.T) {
+	d := dataset(5)
+	h, err := Build(d, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, half := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+		box := geom.MBB{
+			MinX: 0.5 - half, MinY: 0.5 - half, MinT: 0.5 - half,
+			MaxX: 0.5 + half, MaxY: 0.5 + half, MaxT: 0.5 + half,
+		}
+		est := h.EstimateRange(box)
+		if est < prev-1e-9 {
+			t.Fatalf("estimate shrank when window grew: %v after %v", est, prev)
+		}
+		prev = est
+	}
+}
+
+func TestEstimateKMST(t *testing.T) {
+	d := dataset(6)
+	h, err := Build(d, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := d.Trajs[0].Slice(0.3, 0.5)
+	if !ok {
+		t.Fatal("slice failed")
+	}
+	fanout := index.MaxLeafEntries(4096)
+	e1 := h.EstimateKMST(&q, 0.3, 0.5, 1, fanout)
+	e10 := h.EstimateKMST(&q, 0.3, 0.5, 10, fanout)
+	if e1.Radius <= 0 || e1.Segments <= 0 || e1.LeafPages < 1 {
+		t.Fatalf("degenerate estimate %+v", e1)
+	}
+	if e10.Radius < e1.Radius {
+		t.Fatalf("k=10 corridor (%v) smaller than k=1 (%v)", e10.Radius, e1.Radius)
+	}
+	if e10.Segments < e1.Segments {
+		t.Fatalf("k=10 workload smaller than k=1: %+v vs %+v", e10, e1)
+	}
+	// The corridor can never predict more segments than exist.
+	if e10.Segments > float64(d.NumSegments())+1e-6 {
+		t.Fatalf("estimate exceeds dataset: %+v", e10)
+	}
+}
+
+func TestEstimateDistinctObjects(t *testing.T) {
+	d := dataset(7)
+	h, err := Build(d, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := h.EstimateDistinctObjects(d.Bounds())
+	if all > float64(d.Len())+1e-9 {
+		t.Fatalf("object bound %v exceeds cardinality %d", all, d.Len())
+	}
+	if all < float64(d.Len())*0.9 {
+		t.Fatalf("whole-domain object estimate %v too small for %d objects", all, d.Len())
+	}
+}

@@ -1,0 +1,164 @@
+package storage
+
+import "container/list"
+
+// BufferPool is an LRU write-back page cache layered over a File. It
+// implements Pager, so index structures can be built against either the
+// raw file or the buffered view without code changes.
+type BufferPool struct {
+	file     *File
+	capacity int
+	stats    Stats
+
+	lru    *list.List // front = most recently used; values are *frame
+	frames map[PageID]*list.Element
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool creates a pool holding at most capacity pages (minimum 1).
+func NewBufferPool(file *File, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// NewPaperBuffer applies the paper's buffering policy to an existing file:
+// capacity = 10 % of the file's current page count, capped at 1000 pages
+// (and at least one page).
+func NewPaperBuffer(file *File) *BufferPool {
+	c := file.NumPages() / 10
+	if c > 1000 {
+		c = 1000
+	}
+	return NewBufferPool(file, c)
+}
+
+// PageSize implements Pager.
+func (b *BufferPool) PageSize() int { return b.file.PageSize() }
+
+// NumPages implements Pager.
+func (b *BufferPool) NumPages() int { return b.file.NumPages() }
+
+// Capacity returns the pool's page capacity.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Alloc implements Pager. Newly allocated pages enter the cache dirty so
+// short-lived pages may never touch the file.
+func (b *BufferPool) Alloc() (PageID, error) {
+	id, err := b.file.Alloc()
+	if err != nil {
+		return NilPage, err
+	}
+	if err := b.insert(id, make([]byte, b.file.PageSize()), true); err != nil {
+		return NilPage, err
+	}
+	return id, nil
+}
+
+// Read implements Pager. The returned slice aliases the cached frame and
+// is only valid until the next pool call.
+func (b *BufferPool) Read(id PageID) ([]byte, error) {
+	if el, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	b.stats.Misses++
+	src, err := b.file.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, len(src))
+	copy(data, src)
+	if err := b.insert(id, data, false); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Write implements Pager: the page is updated in cache and flushed lazily.
+func (b *BufferPool) Write(id PageID, data []byte) error {
+	if len(data) != b.file.PageSize() {
+		return ErrBadPageSize
+	}
+	if int(id) >= b.file.NumPages() {
+		return ErrPageOutOfRange
+	}
+	if el, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		fr := el.Value.(*frame)
+		copy(fr.data, data)
+		fr.dirty = true
+		b.lru.MoveToFront(el)
+		return nil
+	}
+	b.stats.Misses++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return b.insert(id, cp, true)
+}
+
+func (b *BufferPool) insert(id PageID, data []byte, dirty bool) error {
+	if err := b.evictIfFull(); err != nil {
+		return err
+	}
+	el := b.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
+	b.frames[id] = el
+	return nil
+}
+
+func (b *BufferPool) evictIfFull() error {
+	for b.lru.Len() >= b.capacity {
+		el := b.lru.Back()
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := b.file.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+		}
+		b.lru.Remove(el)
+		delete(b.frames, fr.id)
+	}
+	return nil
+}
+
+// Flush writes every dirty frame back to the file, keeping them cached.
+func (b *BufferPool) Flush() error {
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := b.file.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns the pool's hit/miss counters combined with the underlying
+// file's physical counters.
+func (b *BufferPool) Stats() Stats {
+	s := b.stats
+	fs := b.file.Stats()
+	s.Reads = fs.Reads
+	s.Writes = fs.Writes
+	return s
+}
+
+// ResetStats zeroes both the pool's and the file's counters.
+func (b *BufferPool) ResetStats() {
+	b.stats.Reset()
+	b.file.ResetStats()
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// DiskFile is an os.File-backed Pager with the same semantics as the
+// in-memory File: fixed-size pages addressed by PageID. Page 0 of the
+// physical file is a header slot; data page i lives at offset
+// (i+1)·pageSize. The header records the page size and the allocated page
+// count, so a DiskFile can be reopened.
+//
+// Like File, concurrent Reads are safe; Alloc/Write must not race with
+// readers. A BufferPool cannot wrap a DiskFile directly (it caches for a
+// *File*), but index structures run on any Pager, DiskFile included.
+type DiskFile struct {
+	f        *os.File
+	pageSize int
+	numPages int
+	buf      []byte // read buffer, reused across Read calls
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+}
+
+const (
+	diskMagic      = "MSTPAGE1"
+	diskHeaderSize = len(diskMagic) + 8 // magic + u32 pageSize + u32 numPages
+)
+
+// ErrBadDiskFile reports an unrecognizable page file.
+var ErrBadDiskFile = errors.New("storage: not a page file")
+
+// CreateDiskFile creates (truncating) a page file at path.
+func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < diskHeaderSize {
+		return nil, fmt.Errorf("storage: page size %d below header size", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiskFile{f: f, pageSize: pageSize, buf: make([]byte, pageSize)}
+	if err := d.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDiskFile opens an existing page file.
+func OpenDiskFile(path string) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, diskHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadDiskFile, err)
+	}
+	if string(hdr[:len(diskMagic)]) != diskMagic {
+		f.Close()
+		return nil, ErrBadDiskFile
+	}
+	ps := int(binary.LittleEndian.Uint32(hdr[len(diskMagic):]))
+	np := int(binary.LittleEndian.Uint32(hdr[len(diskMagic)+4:]))
+	if ps < diskHeaderSize || ps > 1<<24 || np < 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: header pageSize=%d numPages=%d", ErrBadDiskFile, ps, np)
+	}
+	return &DiskFile{f: f, pageSize: ps, numPages: np, buf: make([]byte, ps)}, nil
+}
+
+func (d *DiskFile) writeHeader() error {
+	hdr := make([]byte, diskHeaderSize)
+	copy(hdr, diskMagic)
+	binary.LittleEndian.PutUint32(hdr[len(diskMagic):], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[len(diskMagic)+4:], uint32(d.numPages))
+	_, err := d.f.WriteAt(hdr, 0)
+	return err
+}
+
+// PageSize implements Pager.
+func (d *DiskFile) PageSize() int { return d.pageSize }
+
+// NumPages implements Pager.
+func (d *DiskFile) NumPages() int { return d.numPages }
+
+// SizeBytes returns the data size (excluding the header slot).
+func (d *DiskFile) SizeBytes() int64 { return int64(d.numPages) * int64(d.pageSize) }
+
+func (d *DiskFile) offset(id PageID) int64 {
+	return int64(id+1) * int64(d.pageSize)
+}
+
+// Alloc implements Pager: extends the file by one zeroed page.
+func (d *DiskFile) Alloc() (PageID, error) {
+	id := PageID(d.numPages)
+	zero := make([]byte, d.pageSize)
+	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
+		return NilPage, err
+	}
+	d.numPages++
+	return id, d.writeHeader()
+}
+
+// Read implements Pager. The returned slice is valid until the next Read.
+func (d *DiskFile) Read(id PageID) ([]byte, error) {
+	if int(id) >= d.numPages {
+		return nil, fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, d.numPages)
+	}
+	d.reads.Add(1)
+	if _, err := d.f.ReadAt(d.buf, d.offset(id)); err != nil {
+		return nil, err
+	}
+	return d.buf, nil
+}
+
+// Write implements Pager.
+func (d *DiskFile) Write(id PageID, data []byte) error {
+	if int(id) >= d.numPages {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, d.numPages)
+	}
+	if len(data) != d.pageSize {
+		return fmt.Errorf("%w: %d vs %d", ErrBadPageSize, len(data), d.pageSize)
+	}
+	d.writes.Add(1)
+	_, err := d.f.WriteAt(data, d.offset(id))
+	return err
+}
+
+// Stats returns the physical I/O counters.
+func (d *DiskFile) Stats() Stats {
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+}
+
+// Sync flushes the file to stable storage.
+func (d *DiskFile) Sync() error { return d.f.Sync() }
+
+// Close syncs the header and closes the file.
+func (d *DiskFile) Close() error {
+	if err := d.writeHeader(); err != nil {
+		d.f.Close()
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

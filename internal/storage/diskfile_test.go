@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskFileCreateReadWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PageSize() != 128 || d.NumPages() != 0 {
+		t.Fatalf("fresh disk file: ps=%d np=%d", d.PageSize(), d.NumPages())
+	}
+	a, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Alloc()
+	if a != 0 || b != 1 || d.NumPages() != 2 {
+		t.Fatalf("alloc ids %d,%d np=%d", a, b, d.NumPages())
+	}
+	want := fill(128, 0xCD)
+	if err := d.Write(a, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(a)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read back: %v", err)
+	}
+	// Fresh page zeroed.
+	got, _ = d.Read(b)
+	if !bytes.Equal(got, make([]byte, 128)) {
+		t.Fatal("fresh page not zeroed")
+	}
+	if s := d.Stats(); s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskFileReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		id, _ := d.Alloc()
+		if err := d.Write(id, fill(64, byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.PageSize() != 64 || re.NumPages() != 5 {
+		t.Fatalf("reopened: ps=%d np=%d", re.PageSize(), re.NumPages())
+	}
+	for i := 0; i < 5; i++ {
+		got, err := re.Read(PageID(i))
+		if err != nil || !bytes.Equal(got, fill(64, byte(i+1))) {
+			t.Fatalf("page %d content lost: %v", i, err)
+		}
+	}
+	// Reopened file keeps allocating after the existing pages.
+	id, err := re.Alloc()
+	if err != nil || id != 5 {
+		t.Fatalf("alloc after reopen: %d, %v", id, err)
+	}
+}
+
+func TestDiskFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDiskFile(filepath.Join(dir, "p.db"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Read(0); err == nil {
+		t.Fatal("read of unallocated page must fail")
+	}
+	if err := d.Write(0, make([]byte, 64)); err == nil {
+		t.Fatal("write of unallocated page must fail")
+	}
+	id, _ := d.Alloc()
+	if err := d.Write(id, make([]byte, 3)); err == nil {
+		t.Fatal("short write must fail")
+	}
+	// Tiny page size rejected.
+	if _, err := CreateDiskFile(filepath.Join(dir, "tiny.db"), 4); err == nil {
+		t.Fatal("page size below header must fail")
+	}
+	// Junk file rejected on open.
+	junk := filepath.Join(dir, "junk.db")
+	if err := os.WriteFile(junk, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskFile(junk); err == nil {
+		t.Fatal("junk file must fail to open")
+	}
+	if _, err := OpenDiskFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// A tree built directly on disk behaves identically to one in memory.
+func TestDiskFileBacksRandomWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewFile(96)
+	rng := rand.New(rand.NewSource(8))
+	var ids []PageID
+	for i := 0; i < 500; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ids) == 0:
+			a, err := d.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := mem.Alloc()
+			if a != b {
+				t.Fatalf("alloc diverged: %d vs %d", a, b)
+			}
+			ids = append(ids, a)
+		case op == 1:
+			id := ids[rng.Intn(len(ids))]
+			data := fill(96, byte(rng.Intn(256)))
+			if err := d.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := mem.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			id := ids[rng.Intn(len(ids))]
+			a, err := d.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := mem.Read(id)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("page %d diverged from memory twin", id)
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

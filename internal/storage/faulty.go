@@ -1,0 +1,47 @@
+package storage
+
+import "errors"
+
+// ErrInjected is the error produced by a FaultyPager's triggered faults.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyPager wraps a Pager and fails the N-th read and/or write — a test
+// helper for exercising error propagation through the index structures and
+// the search algorithm. A threshold of 0 disables that fault.
+type FaultyPager struct {
+	Inner Pager
+	// FailReadAt / FailWriteAt: fail the operation when the 1-based
+	// operation counter reaches this value (0 = never).
+	FailReadAt  uint64
+	FailWriteAt uint64
+
+	reads  uint64
+	writes uint64
+}
+
+// PageSize implements Pager.
+func (f *FaultyPager) PageSize() int { return f.Inner.PageSize() }
+
+// NumPages implements Pager.
+func (f *FaultyPager) NumPages() int { return f.Inner.NumPages() }
+
+// Alloc implements Pager.
+func (f *FaultyPager) Alloc() (PageID, error) { return f.Inner.Alloc() }
+
+// Read implements Pager, failing at the configured operation index.
+func (f *FaultyPager) Read(id PageID) ([]byte, error) {
+	f.reads++
+	if f.FailReadAt != 0 && f.reads >= f.FailReadAt {
+		return nil, ErrInjected
+	}
+	return f.Inner.Read(id)
+}
+
+// Write implements Pager, failing at the configured operation index.
+func (f *FaultyPager) Write(id PageID, data []byte) error {
+	f.writes++
+	if f.FailWriteAt != 0 && f.writes >= f.FailWriteAt {
+		return ErrInjected
+	}
+	return f.Inner.Write(id, data)
+}

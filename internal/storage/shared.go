@@ -1,0 +1,90 @@
+package storage
+
+import "sync"
+
+// SharedPool is a latch-protected BufferPool: a single warm page cache
+// safely usable by concurrent readers (queries), the way a database keeps
+// one buffer pool across its whole workload rather than a cold cache per
+// query. Reads copy the frame out under the latch, so callers may hold the
+// returned slice across further pool calls.
+type SharedPool struct {
+	mu   sync.Mutex
+	pool *BufferPool
+}
+
+// NewSharedPool wraps a fresh BufferPool of the given capacity over file.
+func NewSharedPool(file *File, capacity int) *SharedPool {
+	return &SharedPool{pool: NewBufferPool(file, capacity)}
+}
+
+// NewSharedPaperPool applies the paper's buffer policy (10 %, ≤1000
+// pages).
+func NewSharedPaperPool(file *File) *SharedPool {
+	return &SharedPool{pool: NewPaperBuffer(file)}
+}
+
+// PageSize implements Pager.
+func (s *SharedPool) PageSize() int {
+	return s.pool.PageSize() // immutable; no latch needed
+}
+
+// NumPages implements Pager.
+func (s *SharedPool) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.NumPages()
+}
+
+// Capacity returns the page capacity.
+func (s *SharedPool) Capacity() int { return s.pool.Capacity() }
+
+// Alloc implements Pager.
+func (s *SharedPool) Alloc() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Alloc()
+}
+
+// Read implements Pager. Unlike BufferPool.Read, the returned slice is a
+// private copy and remains valid indefinitely.
+func (s *SharedPool) Read(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.pool.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Write implements Pager.
+func (s *SharedPool) Write(id PageID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Write(id, data)
+}
+
+// Flush persists dirty frames.
+func (s *SharedPool) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Flush()
+}
+
+// Stats snapshots the hit/miss and physical counters.
+func (s *SharedPool) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Stats()
+}
+
+// ResetStats zeroes the counters.
+func (s *SharedPool) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.ResetStats()
+}
+
+var _ Pager = (*SharedPool)(nil)

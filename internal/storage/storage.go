@@ -1,0 +1,130 @@
+// Package storage provides the paged storage substrate underneath the
+// R-tree-like indexes: a page file addressed by page id, and an LRU buffer
+// pool with write-back caching and I/O accounting.
+//
+// The paper's experimental setup (§5) uses a 4 KB page size and a buffer
+// sized at 10 % of the index with a 1000-page cap; NewPaperBuffer encodes
+// that policy. The page file here is memory-backed — the experiments care
+// about page access counts and buffer behaviour, not physical disks — but
+// the interface is what a disk-backed implementation would expose.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// PageID addresses a page in a file. NilPage is the null reference.
+type PageID uint32
+
+// NilPage is the sentinel "no page" value.
+const NilPage PageID = ^PageID(0)
+
+// DefaultPageSize matches the paper's 4 KB pages.
+const DefaultPageSize = 4096
+
+// Errors returned by pagers.
+var (
+	ErrPageOutOfRange = errors.New("storage: page id out of range")
+	ErrBadPageSize    = errors.New("storage: payload size != page size")
+)
+
+// Pager is the abstraction trees are written against: fixed-size pages,
+// allocation, and whole-page read/write.
+type Pager interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// Alloc reserves a new zeroed page and returns its id.
+	Alloc() (PageID, error)
+	// Read returns the content of page id. The returned slice must not be
+	// modified by the caller; it is valid until the next pager call.
+	Read(id PageID) ([]byte, error)
+	// Write replaces the content of page id. len(data) must equal PageSize.
+	Write(id PageID, data []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+}
+
+// Stats counts page-level I/O. For a File they are physical accesses; a
+// BufferPool layers hit/miss accounting on top and forwards misses.
+type Stats struct {
+	Reads  uint64 // physical page reads
+	Writes uint64 // physical page writes
+	Hits   uint64 // buffer hits (BufferPool only)
+	Misses uint64 // buffer misses (BufferPool only)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// File is an in-memory page file. Reads of distinct pages may happen
+// concurrently (e.g. parallel queries through separate buffer pools); the
+// I/O counters are atomic so accounting stays race-free. Alloc/Write must
+// not race with readers.
+type File struct {
+	pageSize int
+	pages    [][]byte
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+}
+
+// NewFile creates a page file with the given page size (DefaultPageSize if
+// non-positive).
+func NewFile(pageSize int) *File {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &File{pageSize: pageSize}
+}
+
+// PageSize implements Pager.
+func (f *File) PageSize() int { return f.pageSize }
+
+// NumPages implements Pager.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// SizeBytes returns the total size of the file.
+func (f *File) SizeBytes() int64 { return int64(len(f.pages)) * int64(f.pageSize) }
+
+// Alloc implements Pager.
+func (f *File) Alloc() (PageID, error) {
+	if len(f.pages) >= int(NilPage) {
+		return NilPage, errors.New("storage: page file full")
+	}
+	f.pages = append(f.pages, make([]byte, f.pageSize))
+	return PageID(len(f.pages) - 1), nil
+}
+
+// Read implements Pager.
+func (f *File) Read(id PageID) ([]byte, error) {
+	if int(id) >= len(f.pages) {
+		return nil, fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, len(f.pages))
+	}
+	f.reads.Add(1)
+	return f.pages[id], nil
+}
+
+// Write implements Pager.
+func (f *File) Write(id PageID, data []byte) error {
+	if int(id) >= len(f.pages) {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, len(f.pages))
+	}
+	if len(data) != f.pageSize {
+		return fmt.Errorf("%w: %d vs %d", ErrBadPageSize, len(data), f.pageSize)
+	}
+	f.writes.Add(1)
+	copy(f.pages[id], data)
+	return nil
+}
+
+// Stats returns a snapshot of the physical I/O counters.
+func (f *File) Stats() Stats {
+	return Stats{Reads: f.reads.Load(), Writes: f.writes.Load()}
+}
+
+// ResetStats zeroes the physical I/O counters.
+func (f *File) ResetStats() {
+	f.reads.Store(0)
+	f.writes.Store(0)
+}

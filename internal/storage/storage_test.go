@@ -1,0 +1,360 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func fill(size int, b byte) []byte {
+	d := make([]byte, size)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestFileAllocReadWrite(t *testing.T) {
+	f := NewFile(64)
+	if f.PageSize() != 64 {
+		t.Fatalf("page size = %d", f.PageSize())
+	}
+	id, err := f.Alloc()
+	if err != nil || id != 0 {
+		t.Fatalf("first alloc = %d, %v", id, err)
+	}
+	id2, _ := f.Alloc()
+	if id2 != 1 || f.NumPages() != 2 {
+		t.Fatalf("second alloc = %d, pages = %d", id2, f.NumPages())
+	}
+	if err := f.Write(id, fill(64, 0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(id)
+	if err != nil || !bytes.Equal(got, fill(64, 0xAB)) {
+		t.Fatalf("read back mismatch: %v", err)
+	}
+	// Fresh page is zeroed.
+	got, _ = f.Read(id2)
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatal("fresh page not zeroed")
+	}
+	if f.SizeBytes() != 128 {
+		t.Fatalf("size = %d", f.SizeBytes())
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	f := NewFile(0)
+	if f.PageSize() != DefaultPageSize {
+		t.Fatalf("default page size = %d", f.PageSize())
+	}
+	if _, err := f.Read(0); err == nil {
+		t.Fatal("read of unallocated page must fail")
+	}
+	if err := f.Write(0, make([]byte, DefaultPageSize)); err == nil {
+		t.Fatal("write of unallocated page must fail")
+	}
+	id, _ := f.Alloc()
+	if err := f.Write(id, make([]byte, 3)); err == nil {
+		t.Fatal("short write must fail")
+	}
+}
+
+func TestFileStats(t *testing.T) {
+	f := NewFile(32)
+	id, _ := f.Alloc()
+	_ = f.Write(id, fill(32, 1))
+	_, _ = f.Read(id)
+	_, _ = f.Read(id)
+	s := f.Stats()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	f.ResetStats()
+	if f.Stats() != (Stats{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	f := NewFile(32)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := f.Alloc()
+		_ = f.Write(id, fill(32, byte(i)))
+		ids = append(ids, id)
+	}
+	f.ResetStats()
+	bp := NewBufferPool(f, 2)
+	// First read: miss + physical read.
+	if _, err := bp.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Second read of same page: hit, no physical read.
+	if _, err := bp.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := bp.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.Reads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Touch two more pages: evicts ids[0] (capacity 2).
+	_, _ = bp.Read(ids[1])
+	_, _ = bp.Read(ids[2])
+	_, _ = bp.Read(ids[0])
+	s = bp.Stats()
+	if s.Misses != 4 {
+		t.Fatalf("expected re-read after eviction to miss: %+v", s)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	f := NewFile(32)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := f.Alloc()
+		_ = f.Write(id, fill(32, byte(i)))
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(f, 2)
+	_, _ = bp.Read(ids[0])
+	_, _ = bp.Read(ids[1])
+	_, _ = bp.Read(ids[0]) // promote ids[0]
+	_, _ = bp.Read(ids[2]) // must evict ids[1], not ids[0]
+	before := bp.Stats().Misses
+	_, _ = bp.Read(ids[0])
+	if bp.Stats().Misses != before {
+		t.Fatal("ids[0] should still be cached (LRU promoted)")
+	}
+	_, _ = bp.Read(ids[1])
+	if bp.Stats().Misses != before+1 {
+		t.Fatal("ids[1] should have been evicted")
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	f := NewFile(32)
+	id, _ := f.Alloc()
+	bp := NewBufferPool(f, 1)
+	if err := bp.Write(id, fill(32, 0x7)); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty page lives only in cache until eviction or flush.
+	raw, _ := f.Read(id)
+	if bytes.Equal(raw, fill(32, 0x7)) {
+		t.Fatal("write must not hit the file before eviction/flush")
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = f.Read(id)
+	if !bytes.Equal(raw, fill(32, 0x7)) {
+		t.Fatal("flush must persist dirty page")
+	}
+	// Flushing again must not re-write clean frames.
+	w := f.Stats().Writes
+	_ = bp.Flush()
+	if f.Stats().Writes != w {
+		t.Fatal("second flush re-wrote clean pages")
+	}
+}
+
+func TestBufferPoolEvictionWritesBackDirty(t *testing.T) {
+	f := NewFile(32)
+	a, _ := f.Alloc()
+	bb, _ := f.Alloc()
+	bp := NewBufferPool(f, 1)
+	_ = bp.Write(a, fill(32, 0x1))
+	_, _ = bp.Read(bb) // evicts dirty a
+	raw, _ := f.Read(a)
+	if !bytes.Equal(raw, fill(32, 0x1)) {
+		t.Fatal("eviction must write back dirty page")
+	}
+}
+
+func TestBufferPoolAllocCached(t *testing.T) {
+	f := NewFile(32)
+	bp := NewBufferPool(f, 4)
+	id, err := bp.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	bp.ResetStats()
+	if _, err := bp.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	s := bp.Stats()
+	if s.Hits != 1 || s.Reads != 0 {
+		t.Fatalf("fresh page should be served from cache: %+v", s)
+	}
+}
+
+func TestBufferPoolErrors(t *testing.T) {
+	f := NewFile(32)
+	bp := NewBufferPool(f, 2)
+	if _, err := bp.Read(9); err == nil {
+		t.Fatal("read of unallocated page must fail")
+	}
+	if err := bp.Write(9, make([]byte, 32)); err == nil {
+		t.Fatal("write of unallocated page must fail")
+	}
+	id, _ := bp.Alloc()
+	if err := bp.Write(id, make([]byte, 5)); err == nil {
+		t.Fatal("short write must fail")
+	}
+}
+
+func TestNewPaperBuffer(t *testing.T) {
+	f := NewFile(DefaultPageSize)
+	for i := 0; i < 50; i++ {
+		_, _ = f.Alloc()
+	}
+	if c := NewPaperBuffer(f).Capacity(); c != 5 {
+		t.Fatalf("10%% of 50 pages = %d, want 5", c)
+	}
+	f2 := NewFile(DefaultPageSize)
+	for i := 0; i < 20000; i++ {
+		_, _ = f2.Alloc()
+	}
+	if c := NewPaperBuffer(f2).Capacity(); c != 1000 {
+		t.Fatalf("cap at 1000 pages, got %d", c)
+	}
+	f3 := NewFile(DefaultPageSize)
+	if c := NewPaperBuffer(f3).Capacity(); c != 1 {
+		t.Fatalf("minimum capacity 1, got %d", c)
+	}
+}
+
+// Property-style stress: a random workload through the pool must be
+// indistinguishable (content-wise) from direct file access.
+func TestBufferPoolConsistencyStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := NewFile(16)
+	bp := NewBufferPool(f, 3)
+	shadow := map[PageID][]byte{}
+	var ids []PageID
+	for i := 0; i < 2000; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ids) == 0:
+			id, err := bp.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			shadow[id] = make([]byte, 16)
+		case op == 1:
+			id := ids[rng.Intn(len(ids))]
+			data := fill(16, byte(rng.Intn(256)))
+			if err := bp.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+			shadow[id] = data
+		default:
+			id := ids[rng.Intn(len(ids))]
+			got, err := bp.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow[id]) {
+				t.Fatalf("iter %d: page %d content diverged", i, id)
+			}
+		}
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range shadow {
+		got, _ := f.Read(id)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-flush page %d diverged", id)
+		}
+	}
+}
+
+func TestSharedPoolBasics(t *testing.T) {
+	f := NewFile(32)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, _ := f.Alloc()
+		_ = f.Write(id, fill(32, byte(i)))
+		ids = append(ids, id)
+	}
+	f.ResetStats()
+	sp := NewSharedPool(f, 3)
+	if sp.PageSize() != 32 || sp.NumPages() != 6 || sp.Capacity() != 3 {
+		t.Fatalf("shared pool shape: %d %d %d", sp.PageSize(), sp.NumPages(), sp.Capacity())
+	}
+	got, err := sp.Read(ids[2])
+	if err != nil || !bytes.Equal(got, fill(32, 2)) {
+		t.Fatalf("read: %v", err)
+	}
+	// The returned slice is a private copy: mutating it must not poison
+	// the cache.
+	got[0] = 0xFF
+	again, _ := sp.Read(ids[2])
+	if again[0] == 0xFF {
+		t.Fatal("shared pool returned aliased frame")
+	}
+	if s := sp.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Write-through + flush.
+	if err := sp.Write(ids[0], fill(32, 0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := f.Read(ids[0])
+	if !bytes.Equal(raw, fill(32, 0xAB)) {
+		t.Fatal("flush must persist")
+	}
+	sp.ResetStats()
+	if s := sp.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+	if id, err := sp.Alloc(); err != nil || int(id) != 6 {
+		t.Fatalf("alloc through pool: %d %v", id, err)
+	}
+}
+
+func TestSharedPoolConcurrentReaders(t *testing.T) {
+	f := NewFile(64)
+	var ids []PageID
+	for i := 0; i < 40; i++ {
+		id, _ := f.Alloc()
+		_ = f.Write(id, fill(64, byte(i)))
+		ids = append(ids, id)
+	}
+	sp := NewSharedPool(f, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				j := rng.Intn(len(ids))
+				got, err := sp.Read(ids[j])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, fill(64, byte(j))) {
+					errs <- fmt.Errorf("page %d corrupted under concurrency", j)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package tbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/index"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+func randTraj(rng *rand.Rand, id trajectory.ID, n int) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: id, Samples: make([]trajectory.Sample, n)}
+	t := rng.Float64() * 10
+	x, y := rng.Float64()*100, rng.Float64()*100
+	for i := 0; i < n; i++ {
+		tr.Samples[i] = trajectory.Sample{X: x, Y: y, T: t}
+		t += 0.1 + rng.Float64()
+		x += rng.NormFloat64() * 2
+		y += rng.NormFloat64() * 2
+	}
+	return tr
+}
+
+func collectAll(t *testing.T, tr *Tree) []index.LeafEntry {
+	t.Helper()
+	if tr.Root() == storage.NilPage {
+		return nil
+	}
+	var out []index.LeafEntry
+	stack := []storage.PageID{tr.Root()}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := tr.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Leaf {
+			out = append(out, n.Leaves...)
+			continue
+		}
+		for _, c := range n.Children {
+			stack = append(stack, c.Page)
+		}
+	}
+	return out
+}
+
+func TestInsertSingleTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := storage.NewFile(1024) // leaf fanout (1024-12)/56 = 18
+	tr := New(f)
+	traj := randTraj(rng, 7, 100)
+	if err := tr.InsertTrajectory(&traj); err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := tr.CheckInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 99 {
+		t.Fatalf("entries = %d, want 99", cnt)
+	}
+	// Chain reconstruction returns all segments in order.
+	tail, ok := tr.TailLeaf(7)
+	if !ok {
+		t.Fatal("tail leaf missing")
+	}
+	chain, err := tr.WalkChain(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []uint32
+	for _, id := range chain {
+		n, err := tr.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !n.Leaf {
+			t.Fatal("chain must contain only leaves")
+		}
+		for _, e := range n.Leaves {
+			seq = append(seq, e.SeqNo)
+		}
+	}
+	if len(seq) != 99 {
+		t.Fatalf("chain yields %d segments", len(seq))
+	}
+	for i, s := range seq {
+		if s != uint32(i) {
+			t.Fatalf("chain out of order at %d: %d", i, s)
+		}
+	}
+}
+
+func TestInterleavedTrajectories(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := storage.NewFile(1024)
+	tr := New(f)
+	trajs := make([]trajectory.Trajectory, 10)
+	for i := range trajs {
+		trajs[i] = randTraj(rng, trajectory.ID(i+1), 80)
+	}
+	// Interleave insertion round-robin, as positions would arrive live.
+	for s := 0; s < 79; s++ {
+		for i := range trajs {
+			e := index.LeafEntry{TrajID: trajs[i].ID, SeqNo: uint32(s), Seg: trajs[i].Segment(s)}
+			if err := tr.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cnt, err := tr.CheckInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 790 {
+		t.Fatalf("entries = %d, want 790", cnt)
+	}
+	// Every chain must reconstruct its trajectory completely and in order.
+	for i := range trajs {
+		tail, ok := tr.TailLeaf(trajs[i].ID)
+		if !ok {
+			t.Fatalf("trajectory %d has no tail", trajs[i].ID)
+		}
+		chain, err := tr.WalkChain(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		for _, id := range chain {
+			node, err := tr.ReadNode(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range node.Leaves {
+				if e.TrajID != trajs[i].ID {
+					t.Fatalf("chain of %d contains segment of %d", trajs[i].ID, e.TrajID)
+				}
+				if e.SeqNo != uint32(n) {
+					t.Fatalf("chain of %d out of order: %d at %d", trajs[i].ID, e.SeqNo, n)
+				}
+				n++
+			}
+		}
+		if n != 79 {
+			t.Fatalf("chain of %d yields %d segments", trajs[i].ID, n)
+		}
+	}
+}
+
+func TestLeavesAreSingleTrajectory(t *testing.T) {
+	// Implicitly covered by CheckInvariants; verify explicitly on a larger
+	// interleaved build with tiny pages.
+	rng := rand.New(rand.NewSource(3))
+	f := storage.NewFile(512)
+	tr := New(f)
+	for i := 0; i < 30; i++ {
+		traj := randTraj(rng, trajectory.ID(i+1), 40)
+		if err := tr.InsertTrajectory(&traj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all := collectAll(t, tr)
+	if len(all) != 30*39 {
+		t.Fatalf("total entries = %d", len(all))
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := storage.NewFile(1024)
+	tr := New(f)
+	var all []index.LeafEntry
+	for i := 0; i < 25; i++ {
+		traj := randTraj(rng, trajectory.ID(i+1), 60)
+		for s := 0; s < traj.NumSegments(); s++ {
+			all = append(all, index.LeafEntry{TrajID: traj.ID, SeqNo: uint32(s), Seg: traj.Segment(s)})
+		}
+		if err := tr.InsertTrajectory(&traj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 30; q++ {
+		box := geom.MBB{MinX: rng.Float64() * 90, MinY: rng.Float64() * 90, MinT: rng.Float64() * 30}
+		box.MaxX = box.MinX + rng.Float64()*30
+		box.MaxY = box.MinY + rng.Float64()*30
+		box.MaxT = box.MinT + rng.Float64()*20
+		got, err := tr.RangeSearch(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, e := range all {
+			if e.MBB().Intersects(box) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), want)
+		}
+	}
+}
+
+func TestOpenReadOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := storage.NewFile(1024)
+	tr := New(f)
+	traj := randTraj(rng, 1, 50)
+	if err := tr.InsertTrajectory(&traj); err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(f, 4)
+	view := Open(bp, tr.Meta())
+	if _, err := view.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Insert(index.LeafEntry{}); err != ErrReadOnly {
+		t.Fatalf("insert into reopened tree = %v, want ErrReadOnly", err)
+	}
+	if view.RootMBB().IsEmpty() {
+		t.Fatal("reopened tree must expose the root MBB")
+	}
+}
+
+func TestTBTreeDenserThanRTreeFill(t *testing.T) {
+	// Append-only bundling should pack leaves essentially full for long
+	// trajectories: node count ≈ segments / leaf fanout (+ internals).
+	rng := rand.New(rand.NewSource(6))
+	f := storage.NewFile(1024)
+	tr := New(f)
+	const trajLen = 200
+	for i := 0; i < 10; i++ {
+		traj := randTraj(rng, trajectory.ID(i+1), trajLen+1)
+		if err := tr.InsertTrajectory(&traj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leafCap := index.MaxLeafEntries(1024)
+	minLeaves := 10 * trajLen / leafCap
+	if tr.NumNodes() > minLeaves+minLeaves/2+10 {
+		t.Fatalf("TB-tree too sparse: %d nodes for ≥%d full leaves", tr.NumNodes(), minLeaves)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	f := storage.NewFile(1024)
+	tr := New(f)
+	if cnt, err := tr.CheckInvariants(); err != nil || cnt != 0 {
+		t.Fatalf("empty invariants: %d, %v", cnt, err)
+	}
+	got, err := tr.RangeSearch(geom.MBB{MaxX: 1, MaxY: 1, MaxT: 1})
+	if err != nil || got != nil {
+		t.Fatalf("empty range search: %v, %v", got, err)
+	}
+	if !tr.RootMBB().IsEmpty() {
+		t.Fatal("empty tree must have empty MBB")
+	}
+}
+
+func BenchmarkInsertTrajectory(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := storage.NewFile(4096)
+	tr := New(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traj := randTraj(rng, trajectory.ID(i+1), 100)
+		if err := tr.InsertTrajectory(&traj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

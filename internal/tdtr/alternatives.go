@@ -1,0 +1,86 @@
+package tdtr
+
+import (
+	"math"
+
+	"mstsearch/internal/trajectory"
+)
+
+// This file provides the simpler compression baselines Meratnia and de By
+// [12] compare TD-TR against, so the library can quantify what the
+// time-synchronized error measure buys (see BenchmarkCompressionQuality).
+
+// UniformSample keeps every k-th sample (and always the first and last).
+// k ≤ 1 returns an unmodified copy. This is the naive rate reduction that
+// ignores geometry entirely.
+func UniformSample(tr *trajectory.Trajectory, k int) trajectory.Trajectory {
+	if k <= 1 || len(tr.Samples) <= 2 {
+		return tr.Clone()
+	}
+	out := trajectory.Trajectory{ID: tr.ID}
+	last := len(tr.Samples) - 1
+	for i := 0; i <= last; i += k {
+		out.Samples = append(out.Samples, tr.Samples[i])
+	}
+	if out.Samples[len(out.Samples)-1] != tr.Samples[last] {
+		out.Samples = append(out.Samples, tr.Samples[last])
+	}
+	return out
+}
+
+// DeadReckoning keeps a sample whenever the position predicted by the last
+// kept sample's velocity drifts more than tolerance from the recorded
+// position — the classic online (one-pass) location-update policy. The
+// first and last samples are always kept.
+func DeadReckoning(tr *trajectory.Trajectory, tolerance float64) trajectory.Trajectory {
+	n := len(tr.Samples)
+	if tolerance <= 0 || n <= 2 {
+		return tr.Clone()
+	}
+	out := trajectory.Trajectory{ID: tr.ID, Samples: make([]trajectory.Sample, 0, n/4+2)}
+	anchor := tr.Samples[0]
+	out.Samples = append(out.Samples, anchor)
+	// Velocity estimated from the anchor to its successor.
+	vx, vy := velocityAt(tr, 0)
+	for i := 1; i < n-1; i++ {
+		s := tr.Samples[i]
+		dt := s.T - anchor.T
+		px := anchor.X + vx*dt
+		py := anchor.Y + vy*dt
+		if math.Hypot(s.X-px, s.Y-py) > tolerance {
+			out.Samples = append(out.Samples, s)
+			anchor = s
+			vx, vy = velocityAt(tr, i)
+		}
+	}
+	out.Samples = append(out.Samples, tr.Samples[n-1])
+	return out
+}
+
+func velocityAt(tr *trajectory.Trajectory, i int) (float64, float64) {
+	if i+1 >= len(tr.Samples) {
+		return 0, 0
+	}
+	a, b := tr.Samples[i], tr.Samples[i+1]
+	dt := b.T - a.T
+	if dt == 0 {
+		return 0, 0
+	}
+	return (b.X - a.X) / dt, (b.Y - a.Y) / dt
+}
+
+// MeanSED returns the average synchronized deviation of the original from
+// the compressed version, sampled at the original's timestamps — the
+// quality counterpart of MaxSED used when comparing compression methods at
+// equal output sizes.
+func MeanSED(orig, comp *trajectory.Trajectory) float64 {
+	if len(orig.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range orig.Samples {
+		p := comp.At(s.T)
+		sum += math.Hypot(s.X-p.X, s.Y-p.Y)
+	}
+	return sum / float64(len(orig.Samples))
+}

@@ -1,0 +1,89 @@
+// Package tdtr implements the TD-TR trajectory compression algorithm of
+// Meratnia and de By [12] used in the paper's quality experiment (§5.2):
+// a top-down Douglas–Peucker split driven by the Synchronized Euclidean
+// Distance (SED), the error measure appropriate for spatiotemporal data —
+// the deviation of each dropped point from where the simplified trajectory
+// says the object would have been *at that point's timestamp*.
+package tdtr
+
+import (
+	"math"
+
+	"mstsearch/internal/trajectory"
+)
+
+// SED returns the Synchronized Euclidean Distance of sample p with respect
+// to the anchor segment (s, e): the distance between p and the position
+// linearly interpolated between s and e at time p.T.
+func SED(s, e, p trajectory.Sample) float64 {
+	dt := e.T - s.T
+	var f float64
+	if dt != 0 {
+		f = (p.T - s.T) / dt
+	}
+	sx := s.X + f*(e.X-s.X)
+	sy := s.Y + f*(e.Y-s.Y)
+	return math.Hypot(p.X-sx, p.Y-sy)
+}
+
+// Compress simplifies tr top-down: the first and last samples are always
+// kept, and a dropped range is recursively split at its maximum-SED sample
+// while that maximum exceeds tolerance (in the trajectory's spatial
+// units). tolerance ≤ 0 returns an unmodified copy.
+func Compress(tr *trajectory.Trajectory, tolerance float64) trajectory.Trajectory {
+	if tolerance <= 0 || len(tr.Samples) <= 2 {
+		return tr.Clone()
+	}
+	n := len(tr.Samples)
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		s, e := tr.Samples[lo], tr.Samples[hi]
+		worst, at := -1.0, -1
+		for i := lo + 1; i < hi; i++ {
+			if d := SED(s, e, tr.Samples[i]); d > worst {
+				worst, at = d, i
+			}
+		}
+		if worst > tolerance {
+			keep[at] = true
+			split(lo, at)
+			split(at, hi)
+		}
+	}
+	split(0, n-1)
+	out := trajectory.Trajectory{ID: tr.ID, Samples: make([]trajectory.Sample, 0, n/4+2)}
+	for i, k := range keep {
+		if k {
+			out.Samples = append(out.Samples, tr.Samples[i])
+		}
+	}
+	return out
+}
+
+// CompressRatio runs Compress with the paper's parameterization: the
+// tolerance is p (e.g. 0.01 for "1 %") times the trajectory's total
+// spatial length, so larger p keeps fewer vertices and yields greater
+// dissimilarity from the original (Fig. 8).
+func CompressRatio(tr *trajectory.Trajectory, p float64) trajectory.Trajectory {
+	return Compress(tr, p*tr.SpatialLength())
+}
+
+// MaxSED returns the maximum synchronized deviation of the original
+// trajectory from its compressed version — the quantity Compress bounds by
+// the tolerance.
+func MaxSED(orig, comp *trajectory.Trajectory) float64 {
+	var worst float64
+	for _, s := range orig.Samples {
+		p := comp.At(s.T)
+		d := math.Hypot(s.X-p.X, s.Y-p.Y)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,268 @@
+package tdtr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/trajectory"
+)
+
+func zigzag(n int) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: 1, Samples: make([]trajectory.Sample, n)}
+	for i := 0; i < n; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 1
+		}
+		tr.Samples[i] = trajectory.Sample{X: float64(i), Y: y, T: float64(i)}
+	}
+	return tr
+}
+
+func randTraj(rng *rand.Rand, n int) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: 1, Samples: make([]trajectory.Sample, n)}
+	x, y := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		tr.Samples[i] = trajectory.Sample{X: x, Y: y, T: float64(i)}
+		x += 1 + rng.Float64()
+		y += rng.NormFloat64()
+	}
+	return tr
+}
+
+func TestSED(t *testing.T) {
+	s := trajectory.Sample{X: 0, Y: 0, T: 0}
+	e := trajectory.Sample{X: 10, Y: 0, T: 10}
+	// On-course point: zero deviation.
+	if d := SED(s, e, trajectory.Sample{X: 5, Y: 0, T: 5}); d != 0 {
+		t.Fatalf("on-course SED = %v", d)
+	}
+	// Spatially on the segment but temporally early: synchronized position
+	// at t=2 is x=2, so deviation is 3.
+	if d := SED(s, e, trajectory.Sample{X: 5, Y: 0, T: 2}); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("time-skewed SED = %v, want 3", d)
+	}
+	// Perpendicular deviation.
+	if d := SED(s, e, trajectory.Sample{X: 5, Y: 4, T: 5}); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("perpendicular SED = %v, want 4", d)
+	}
+	// Degenerate zero-duration anchor.
+	if d := SED(s, trajectory.Sample{X: 0, Y: 0, T: 0}, trajectory.Sample{X: 3, Y: 4, T: 0}); d != 5 {
+		t.Fatalf("degenerate SED = %v", d)
+	}
+}
+
+func TestCompressStraightLineToTwoPoints(t *testing.T) {
+	tr := trajectory.Trajectory{ID: 1}
+	for i := 0; i < 100; i++ {
+		tr.Samples = append(tr.Samples, trajectory.Sample{X: float64(i), Y: 2 * float64(i), T: float64(i)})
+	}
+	c := Compress(&tr, 1e-9)
+	if len(c.Samples) != 2 {
+		t.Fatalf("straight line compressed to %d points", len(c.Samples))
+	}
+	if c.Samples[0] != tr.Samples[0] || c.Samples[1] != tr.Samples[99] {
+		t.Fatal("endpoints must be preserved")
+	}
+}
+
+func TestCompressKeepsEndpointsAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randTraj(rng, 300)
+	c := Compress(&tr, 2)
+	if c.Samples[0] != tr.Samples[0] || c.Samples[len(c.Samples)-1] != tr.Samples[len(tr.Samples)-1] {
+		t.Fatal("endpoints must be preserved")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compressed trajectory invalid: %v", err)
+	}
+	if c.ID != tr.ID {
+		t.Fatal("ID must be preserved")
+	}
+}
+
+// The algorithm's defining guarantee: every original sample deviates from
+// the compressed trajectory (synchronized in time) by at most the
+// tolerance.
+func TestCompressBoundsSED(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 50; iter++ {
+		tr := randTraj(rng, 50+rng.Intn(300))
+		tol := 0.5 + rng.Float64()*5
+		c := Compress(&tr, tol)
+		if got := MaxSED(&tr, &c); got > tol+1e-9 {
+			t.Fatalf("iter %d: max SED %v exceeds tolerance %v", iter, got, tol)
+		}
+	}
+}
+
+func TestCompressMonotoneInTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randTraj(rng, 500)
+	prev := len(tr.Samples) + 1
+	for _, tol := range []float64{0.01, 0.1, 0.5, 2, 10} {
+		c := Compress(&tr, tol)
+		if len(c.Samples) > prev {
+			t.Fatalf("tolerance %v kept more points (%d) than a smaller one (%d)",
+				tol, len(c.Samples), prev)
+		}
+		prev = len(c.Samples)
+	}
+}
+
+func TestCompressZigzagNeedsAllPoints(t *testing.T) {
+	tr := zigzag(20)
+	c := Compress(&tr, 0.1)
+	if len(c.Samples) != 20 {
+		t.Fatalf("zigzag below tolerance lost points: %d of 20", len(c.Samples))
+	}
+	// Large tolerance flattens it.
+	c = Compress(&tr, 5)
+	if len(c.Samples) != 2 {
+		t.Fatalf("zigzag above tolerance kept %d points", len(c.Samples))
+	}
+}
+
+func TestCompressDegenerate(t *testing.T) {
+	two := trajectory.Trajectory{ID: 1, Samples: []trajectory.Sample{
+		{X: 0, Y: 0, T: 0}, {X: 1, Y: 1, T: 1},
+	}}
+	c := Compress(&two, 0.5)
+	if len(c.Samples) != 2 {
+		t.Fatal("two-point trajectory must be unchanged")
+	}
+	// Non-positive tolerance returns a copy.
+	tr := zigzag(10)
+	c = Compress(&tr, 0)
+	if len(c.Samples) != 10 {
+		t.Fatal("zero tolerance must copy")
+	}
+	// Mutating the copy must not touch the original.
+	c.Samples[0].X = 999
+	if tr.Samples[0].X == 999 {
+		t.Fatal("Compress must return an independent copy")
+	}
+}
+
+// Fig. 8 of the paper: vertex count decreases sharply with p while the
+// sketch (endpoints, overall course) is retained.
+func TestCompressRatioVertexDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := randTraj(rng, 168) // the paper's example trajectory has 168 vertices
+	var counts []int
+	for _, p := range []float64{0, 0.001, 0.01, 0.02} {
+		c := CompressRatio(&tr, p)
+		counts = append(counts, len(c.Samples))
+	}
+	if counts[0] != 168 {
+		t.Fatalf("p=0 must keep all vertices, got %d", counts[0])
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("vertex counts must be non-increasing: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] >= counts[0]/2 {
+		t.Fatalf("p=2%% should drop most vertices: %v", counts)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randTraj(rng, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(&tr, 1)
+	}
+}
+
+func TestUniformSample(t *testing.T) {
+	tr := zigzag(11)
+	u := UniformSample(&tr, 3)
+	// Keeps 0,3,6,9 plus last (10).
+	if len(u.Samples) != 5 {
+		t.Fatalf("uniform kept %d samples: %+v", len(u.Samples), u.Samples)
+	}
+	if u.Samples[0] != tr.Samples[0] || u.Samples[len(u.Samples)-1] != tr.Samples[10] {
+		t.Fatal("endpoints must be kept")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// k ≤ 1 copies.
+	if c := UniformSample(&tr, 1); len(c.Samples) != 11 {
+		t.Fatal("k=1 must copy")
+	}
+	// Exact multiple: last point not duplicated.
+	tr2 := zigzag(10)
+	u2 := UniformSample(&tr2, 3) // 0,3,6,9 — 9 is last
+	if len(u2.Samples) != 4 {
+		t.Fatalf("uniform kept %d samples", len(u2.Samples))
+	}
+}
+
+func TestDeadReckoning(t *testing.T) {
+	// Constant-velocity motion: prediction is perfect, only endpoints kept.
+	var line trajectory.Trajectory
+	line.ID = 1
+	for i := 0; i < 50; i++ {
+		line.Samples = append(line.Samples, trajectory.Sample{X: float64(i) * 2, Y: 0, T: float64(i)})
+	}
+	d := DeadReckoning(&line, 0.5)
+	if len(d.Samples) != 2 {
+		t.Fatalf("constant velocity kept %d samples", len(d.Samples))
+	}
+	// A sharp turn forces an update.
+	turn := line.Clone()
+	for i := 25; i < 50; i++ {
+		turn.Samples[i].Y = float64(i-24) * 2
+	}
+	d = DeadReckoning(&turn, 0.5)
+	if len(d.Samples) < 3 {
+		t.Fatalf("turn kept only %d samples", len(d.Samples))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero tolerance copies.
+	if c := DeadReckoning(&turn, 0); len(c.Samples) != 50 {
+		t.Fatal("zero tolerance must copy")
+	}
+}
+
+// At equal output size, TD-TR's time-aware split should never be much
+// worse than uniform sampling on synchronized error — and is usually far
+// better on curvy trajectories.
+func TestTDTRBeatsUniformAtEqualSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	better, worse := 0, 0
+	for iter := 0; iter < 30; iter++ {
+		tr := randTraj(rng, 200+rng.Intn(200))
+		td := CompressRatio(&tr, 0.01)
+		k := len(tr.Samples) / len(td.Samples)
+		if k < 2 {
+			continue
+		}
+		un := UniformSample(&tr, k)
+		if MeanSED(&tr, &td) <= MeanSED(&tr, &un)*1.05 {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if worse > better {
+		t.Fatalf("TD-TR lost to uniform sampling %d/%d times", worse, better+worse)
+	}
+}
+
+func TestMeanSED(t *testing.T) {
+	tr := zigzag(9)
+	if got := MeanSED(&tr, &tr); got != 0 {
+		t.Fatalf("self MeanSED = %v", got)
+	}
+	two := Compress(&tr, 10) // flattened to endpoints
+	if got := MeanSED(&tr, &two); got <= 0 {
+		t.Fatalf("flattened MeanSED = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package topology implements topological queries of trajectories against
+// a spatial region over a time window — the third query class the paper's
+// introduction requires the shared index to keep supporting ("classical
+// range, topological and similarity based queries", §1). The predicates
+// follow the usual spatiotemporal developments (enter / leave / cross /
+// stay) of the moving-objects literature.
+//
+// The classification is exact: each trajectory segment is clipped against
+// the region with the Liang–Barsky algorithm, producing the precise
+// sequence of inside/outside episodes during the window.
+package topology
+
+import (
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+// Relation is the topological relation of a trajectory to a region during
+// a time window.
+type Relation int
+
+// The supported relations. Boundary contact counts as inside.
+const (
+	// Disjoint: the object never enters the region during the window.
+	Disjoint Relation = iota
+	// Inside: the object stays in the region for the whole window.
+	Inside
+	// Enter: starts outside, ends inside (entered once, never left again).
+	Enter
+	// Leave: starts inside, ends outside (left and never returned).
+	Leave
+	// Cross: starts and ends outside but passes through in between.
+	Cross
+	// Detour: starts and ends inside but leaves in between.
+	Detour
+	// Weave: multiple enter/leave alternations not covered above.
+	Weave
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Inside:
+		return "inside"
+	case Enter:
+		return "enter"
+	case Leave:
+		return "leave"
+	case Cross:
+		return "cross"
+	case Detour:
+		return "detour"
+	case Weave:
+		return "weave"
+	default:
+		return "disjoint"
+	}
+}
+
+// Episode is one maximal time span the object spends inside the region.
+type Episode struct {
+	T1, T2 float64
+}
+
+// Classify determines the relation of tr to region during [t1, t2], along
+// with the inside episodes. ok is false when the trajectory does not cover
+// any positive part of the window.
+func Classify(tr *trajectory.Trajectory, region geom.Rect, t1, t2 float64) (Relation, []Episode, bool) {
+	lo := math.Max(t1, tr.StartTime())
+	hi := math.Min(t2, tr.EndTime())
+	if !(lo < hi) {
+		return Disjoint, nil, false
+	}
+	eps := 1e-12 * math.Max(1, hi-lo)
+
+	var episodes []Episode
+	add := func(a, b float64) {
+		if b-a < 0 {
+			return
+		}
+		if n := len(episodes); n > 0 && a-episodes[n-1].T2 <= eps {
+			if b > episodes[n-1].T2 {
+				episodes[n-1].T2 = b
+			}
+			return
+		}
+		episodes = append(episodes, Episode{a, b})
+	}
+	for i := 0; i < tr.NumSegments(); i++ {
+		seg := tr.Segment(i)
+		c, okc := seg.ClipTime(lo, hi)
+		if !okc || c.Duration() < 0 {
+			continue
+		}
+		if in, a, b := clipSegmentRect(c, region); in {
+			add(a, b)
+		}
+	}
+	if len(episodes) == 0 {
+		return Disjoint, nil, true
+	}
+
+	startIn := episodes[0].T1 <= lo+eps
+	endIn := episodes[len(episodes)-1].T2 >= hi-eps
+	whole := startIn && endIn && len(episodes) == 1
+	transitions := len(episodes)
+
+	switch {
+	case whole:
+		return Inside, episodes, true
+	case startIn && endIn:
+		if transitions == 2 {
+			return Detour, episodes, true
+		}
+		return Weave, episodes, true
+	case startIn && !endIn:
+		if transitions == 1 {
+			return Leave, episodes, true
+		}
+		return Weave, episodes, true
+	case !startIn && endIn:
+		if transitions == 1 {
+			return Enter, episodes, true
+		}
+		return Weave, episodes, true
+	default: // outside at both ends
+		if transitions == 1 {
+			return Cross, episodes, true
+		}
+		return Weave, episodes, true
+	}
+}
+
+// clipSegmentRect intersects the moving point's path with the rectangle
+// using Liang–Barsky, returning whether any part lies inside and the
+// absolute time span of the inside part.
+func clipSegmentRect(s geom.Segment, r geom.Rect) (bool, float64, float64) {
+	dur := s.Duration()
+	if dur == 0 {
+		if r.Contains(s.A.Spatial()) {
+			return true, s.A.T, s.A.T
+		}
+		return false, 0, 0
+	}
+	dx := s.B.X - s.A.X
+	dy := s.B.Y - s.A.Y
+	u1, u2 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0 // parallel: inside iff q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > u2 {
+				return false
+			}
+			if t > u1 {
+				u1 = t
+			}
+		} else {
+			if t < u1 {
+				return false
+			}
+			if t < u2 {
+				u2 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, s.A.X-r.MinX) || !clip(dx, r.MaxX-s.A.X) ||
+		!clip(-dy, s.A.Y-r.MinY) || !clip(dy, r.MaxY-s.A.Y) {
+		return false, 0, 0
+	}
+	if u1 > u2 {
+		return false, 0, 0
+	}
+	return true, s.A.T + u1*dur, s.A.T + u2*dur
+}
+
+// InsideDuration sums the episode lengths.
+func InsideDuration(eps []Episode) float64 {
+	var d float64
+	for _, e := range eps {
+		d += e.T2 - e.T1
+	}
+	return d
+}

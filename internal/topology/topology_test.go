@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/trajectory"
+)
+
+var region = geom.Rect{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}
+
+func path(pts ...[3]float64) trajectory.Trajectory {
+	tr := trajectory.Trajectory{ID: 1}
+	for _, p := range pts {
+		tr.Samples = append(tr.Samples, trajectory.Sample{X: p[0], Y: p[1], T: p[2]})
+	}
+	return tr
+}
+
+func classify(t *testing.T, tr trajectory.Trajectory) (Relation, []Episode) {
+	t.Helper()
+	rel, eps, ok := Classify(&tr, region, tr.StartTime(), tr.EndTime())
+	if !ok {
+		t.Fatal("classification must succeed inside lifespan")
+	}
+	return rel, eps
+}
+
+func TestClassifyBasicRelations(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   trajectory.Trajectory
+		want Relation
+	}{
+		{"inside", path([3]float64{12, 12, 0}, [3]float64{18, 18, 10}), Inside},
+		{"disjoint", path([3]float64{0, 0, 0}, [3]float64{5, 5, 10}), Disjoint},
+		{"enter", path([3]float64{0, 15, 0}, [3]float64{15, 15, 10}), Enter},
+		{"leave", path([3]float64{15, 15, 0}, [3]float64{40, 15, 10}), Leave},
+		{"cross", path([3]float64{0, 15, 0}, [3]float64{40, 15, 10}), Cross},
+		{"detour", path(
+			[3]float64{12, 15, 0}, [3]float64{40, 15, 5}, [3]float64{12, 15, 10}), Detour},
+		{"weave", path(
+			[3]float64{0, 15, 0}, [3]float64{15, 15, 2}, [3]float64{40, 15, 4},
+			[3]float64{15, 15, 6}, [3]float64{40, 15, 8}), Weave},
+	}
+	for _, c := range cases {
+		if got, _ := classify(t, c.tr); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyEpisodes(t *testing.T) {
+	// Cross at constant speed 4 units/s along y=15: inside for x in
+	// [10, 20] → t in [2.5, 5].
+	tr := path([3]float64{0, 15, 0}, [3]float64{40, 15, 10})
+	rel, eps := classify(t, tr)
+	if rel != Cross || len(eps) != 1 {
+		t.Fatalf("rel=%v eps=%v", rel, eps)
+	}
+	if math.Abs(eps[0].T1-2.5) > 1e-9 || math.Abs(eps[0].T2-5) > 1e-9 {
+		t.Fatalf("episode = %+v, want [2.5, 5]", eps[0])
+	}
+	if d := InsideDuration(eps); math.Abs(d-2.5) > 1e-9 {
+		t.Fatalf("inside duration = %v", d)
+	}
+}
+
+func TestClassifyWindowRestriction(t *testing.T) {
+	// The full trajectory crosses, but a window covering only the inside
+	// part sees Inside.
+	tr := path([3]float64{0, 15, 0}, [3]float64{40, 15, 10})
+	rel, _, ok := Classify(&tr, region, 3, 4.5)
+	if !ok || rel != Inside {
+		t.Fatalf("windowed relation = %v ok=%v, want Inside", rel, ok)
+	}
+	// A window before the crossing sees Disjoint.
+	rel, _, ok = Classify(&tr, region, 0, 2)
+	if !ok || rel != Disjoint {
+		t.Fatalf("pre-crossing relation = %v", rel)
+	}
+	// A window straddling the entry sees Enter.
+	rel, _, ok = Classify(&tr, region, 0, 4)
+	if !ok || rel != Enter {
+		t.Fatalf("entry window relation = %v", rel)
+	}
+	// Window outside the lifespan fails.
+	if _, _, ok = Classify(&tr, region, 20, 30); ok {
+		t.Fatal("window beyond lifespan must fail")
+	}
+}
+
+func TestClassifyTouchingBoundary(t *testing.T) {
+	// Skimming along the region edge (y = 10) counts as inside contact.
+	tr := path([3]float64{0, 10, 0}, [3]float64{40, 10, 10})
+	rel, _ := classify(t, tr)
+	if rel != Cross {
+		t.Fatalf("boundary skim = %v, want Cross", rel)
+	}
+	// A single-instant touch at a corner.
+	tr = path([3]float64{0, 0, 0}, [3]float64{20, 20, 10}, [3]float64{40, 40, 20})
+	rel, eps := classify(t, tr)
+	if rel == Disjoint {
+		t.Fatalf("corner touch lost: %v %v", rel, eps)
+	}
+}
+
+// Property: episodes must agree with dense sampling of the interpolated
+// position.
+func TestClassifyMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		tr := trajectory.Trajectory{ID: 1}
+		x, y := rng.Float64()*30, rng.Float64()*30
+		tt := 0.0
+		for i := 0; i < 12; i++ {
+			tr.Samples = append(tr.Samples, trajectory.Sample{X: x, Y: y, T: tt})
+			x += rng.NormFloat64() * 8
+			y += rng.NormFloat64() * 8
+			tt += 0.5 + rng.Float64()
+		}
+		_, eps, ok := Classify(&tr, region, tr.StartTime(), tr.EndTime())
+		if !ok {
+			t.Fatal("must classify")
+		}
+		insideAt := func(q float64) bool {
+			for _, e := range eps {
+				if q >= e.T1-1e-9 && q <= e.T2+1e-9 {
+					return true
+				}
+			}
+			return false
+		}
+		const n = 800
+		for i := 0; i <= n; i++ {
+			q := tr.StartTime() + tr.Duration()*float64(i)/n
+			p := tr.At(q).Spatial()
+			in := region.Contains(p)
+			// Skip points within a hair of the boundary (sampling noise).
+			margin := math.Min(
+				math.Min(math.Abs(p.X-region.MinX), math.Abs(p.X-region.MaxX)),
+				math.Min(math.Abs(p.Y-region.MinY), math.Abs(p.Y-region.MaxY)))
+			if margin < 1e-6 {
+				continue
+			}
+			if in != insideAt(q) {
+				t.Fatalf("iter %d: t=%v inside=%v but episodes say %v (eps=%v)",
+					iter, q, in, insideAt(q), eps)
+			}
+		}
+	}
+}

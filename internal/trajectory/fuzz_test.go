@@ -1,0 +1,38 @@
+package trajectory
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text to the CSV importer: it must return
+// trajectories or an error, never panic, and anything it accepts must be
+// valid and survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,0,0,0\n1,1,1,1\n")
+	f.Add("1,0,0,0\n1,1,1,1\n2,5,5,0\n2,6,6,3\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		trajs, err := ReadCSV(bytes.NewBufferString(s))
+		if err != nil {
+			return
+		}
+		for i := range trajs {
+			if verr := trajs[i].Validate(); verr != nil {
+				t.Fatalf("ReadCSV accepted invalid trajectory: %v", verr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, trajs); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if len(again) != len(trajs) {
+			t.Fatalf("round trip changed trajectory count: %d vs %d", len(again), len(trajs))
+		}
+	})
+}

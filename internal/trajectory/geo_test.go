@@ -1,0 +1,95 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGeoProjectionRoundTrip(t *testing.T) {
+	p, err := NewGeoProjection(37.97, 23.72) // Athens — the Trucks home town
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		lat := 37.97 + rng.NormFloat64()*0.3
+		lon := 23.72 + rng.NormFloat64()*0.3
+		x, y := p.Project(lat, lon)
+		lat2, lon2 := p.Unproject(x, y)
+		if math.Abs(lat-lat2) > 1e-9 || math.Abs(lon-lon2) > 1e-9 {
+			t.Fatalf("round trip drifted: (%v,%v) -> (%v,%v)", lat, lon, lat2, lon2)
+		}
+	}
+}
+
+func TestGeoProjectionDistanceAccuracy(t *testing.T) {
+	// Metro-area extent (±~25 km), the scale the projection is meant for.
+	p, _ := NewGeoProjection(37.97, 23.72)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		lat1 := 37.97 + rng.NormFloat64()*0.2
+		lon1 := 23.72 + rng.NormFloat64()*0.2
+		lat2 := 37.97 + rng.NormFloat64()*0.2
+		lon2 := 23.72 + rng.NormFloat64()*0.2
+		x1, y1 := p.Project(lat1, lon1)
+		x2, y2 := p.Project(lat2, lon2)
+		planar := math.Hypot(x2-x1, y2-y1)
+		truth := HaversineMeters(lat1, lon1, lat2, lon2)
+		if truth < 100 {
+			continue
+		}
+		if rel := math.Abs(planar-truth) / truth; rel > 0.01 {
+			t.Fatalf("projection error %.3f%% at ~%.0f m", rel*100, truth)
+		}
+	}
+}
+
+func TestGeoProjectionValidation(t *testing.T) {
+	if _, err := NewGeoProjection(95, 0); err == nil {
+		t.Fatal("latitude out of range must fail")
+	}
+	if _, err := NewGeoProjection(0, 200); err == nil {
+		t.Fatal("longitude out of range must fail")
+	}
+}
+
+func TestFromLatLon(t *testing.T) {
+	p, _ := NewGeoProjection(37.97, 23.72)
+	samples := []GeoSample{
+		{Lat: 37.97, Lon: 23.72, T: 0},
+		{Lat: 37.98, Lon: 23.73, T: 60},
+		{Lat: 37.99, Lon: 23.74, T: 120},
+	}
+	tr, err := FromLatLon(p, 7, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != 7 || len(tr.Samples) != 3 {
+		t.Fatalf("trajectory = %+v", tr)
+	}
+	// First sample projects to the origin.
+	if tr.Samples[0].X != 0 || tr.Samples[0].Y != 0 {
+		t.Fatalf("reference sample not at origin: %+v", tr.Samples[0])
+	}
+	// ~0.01° latitude ≈ 1.11 km north.
+	if math.Abs(tr.Samples[1].Y-1112) > 10 {
+		t.Fatalf("northward step = %v m, want ≈1112", tr.Samples[1].Y)
+	}
+	// Out-of-order times rejected via Validate.
+	bad := []GeoSample{{Lat: 37.97, Lon: 23.72, T: 10}, {Lat: 37.98, Lon: 23.73, T: 5}}
+	if _, err := FromLatLon(p, 8, bad); err == nil {
+		t.Fatal("unsorted GPS fixes must be rejected")
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	// Athens → Thessaloniki ≈ 300 km.
+	d := HaversineMeters(37.98, 23.73, 40.64, 22.94)
+	if d < 290e3 || d > 310e3 {
+		t.Fatalf("Athens-Thessaloniki = %v m", d)
+	}
+	if HaversineMeters(10, 20, 10, 20) != 0 {
+		t.Fatal("zero distance expected")
+	}
+}

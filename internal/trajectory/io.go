@@ -1,0 +1,84 @@
+package trajectory
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes trajectories as "id,x,y,t" rows (one row per sample,
+// samples grouped by trajectory in temporal order).
+func WriteCSV(w io.Writer, trajs []Trajectory) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for i := range trajs {
+		id := strconv.FormatUint(uint64(trajs[i].ID), 10)
+		for _, s := range trajs[i].Samples {
+			rec := []string{
+				id,
+				strconv.FormatFloat(s.X, 'g', -1, 64),
+				strconv.FormatFloat(s.Y, 'g', -1, 64),
+				strconv.FormatFloat(s.T, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses trajectories from "id,x,y,t" rows. Rows sharing an id are
+// appended to the same trajectory in input order; each trajectory is
+// validated before being returned.
+func ReadCSV(r io.Reader) ([]Trajectory, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 4
+	var (
+		trajs []Trajectory
+		byID  = map[ID]int{}
+	)
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		id64, err := strconv.ParseUint(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad id %q: %w", line, rec[0], err)
+		}
+		var s Sample
+		if s.X, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad x: %w", line, err)
+		}
+		if s.Y, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad y: %w", line, err)
+		}
+		if s.T, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad t: %w", line, err)
+		}
+		id := ID(id64)
+		idx, ok := byID[id]
+		if !ok {
+			idx = len(trajs)
+			byID[id] = idx
+			trajs = append(trajs, Trajectory{ID: id})
+		}
+		trajs[idx].Samples = append(trajs[idx].Samples, s)
+	}
+	for i := range trajs {
+		if err := trajs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("trajectory %d: %w", trajs[i].ID, err)
+		}
+	}
+	return trajs, nil
+}

@@ -1,0 +1,66 @@
+package trajectory
+
+import "math"
+
+// Stats holds per-axis mean and standard deviation of a trajectory's
+// sampled positions.
+type Stats struct {
+	MeanX, MeanY, StdX, StdY float64
+}
+
+// ComputeStats returns the spatial statistics of the trajectory.
+func ComputeStats(tr *Trajectory) Stats {
+	n := float64(len(tr.Samples))
+	if n == 0 {
+		return Stats{}
+	}
+	var st Stats
+	for _, s := range tr.Samples {
+		st.MeanX += s.X
+		st.MeanY += s.Y
+	}
+	st.MeanX /= n
+	st.MeanY /= n
+	for _, s := range tr.Samples {
+		st.StdX += (s.X - st.MeanX) * (s.X - st.MeanX)
+		st.StdY += (s.Y - st.MeanY) * (s.Y - st.MeanY)
+	}
+	st.StdX = math.Sqrt(st.StdX / n)
+	st.StdY = math.Sqrt(st.StdY / n)
+	return st
+}
+
+// MaxStd returns the larger of the two per-axis standard deviations.
+func (s Stats) MaxStd() float64 { return math.Max(s.StdX, s.StdY) }
+
+// Normalize returns a copy of tr with each axis shifted to zero mean and
+// scaled to unit standard deviation, the normalization Chen et al. apply
+// before computing LCSS/EDR (paper §5.2). Axes with zero deviation are
+// only shifted.
+func Normalize(tr *Trajectory) Trajectory {
+	st := ComputeStats(tr)
+	sx, sy := st.StdX, st.StdY
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	out := Trajectory{ID: tr.ID, Samples: make([]Sample, len(tr.Samples))}
+	for i, s := range tr.Samples {
+		out.Samples[i] = Sample{(s.X - st.MeanX) / sx, (s.Y - st.MeanY) / sy, s.T}
+	}
+	return out
+}
+
+// MaxStdOfDataset returns the maximum per-trajectory standard deviation
+// across a dataset; a quarter of this value is the ε the paper uses for
+// LCSS and EDR ("a quarter of the maximum standard deviation of
+// trajectories", §5.2).
+func MaxStdOfDataset(trajs []Trajectory) float64 {
+	var m float64
+	for i := range trajs {
+		m = math.Max(m, ComputeStats(&trajs[i]).MaxStd())
+	}
+	return m
+}

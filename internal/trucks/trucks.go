@@ -1,0 +1,199 @@
+// Package trucks generates a stand-in for the real "Trucks" dataset the
+// paper uses in its quality experiment (§5.1): 273 trajectories of a
+// delivery-truck fleet with 112 203 line segments, originally published at
+// rtreeportal.org and not redistributable here. The substitution (see
+// DESIGN.md) preserves the properties the experiment depends on:
+//
+//   - network-constrained movement: trucks drive piecewise-straight legs
+//     between depots/customer hubs rather than wandering randomly, so
+//     trajectories have the long straight stretches and sharp turns that
+//     TD-TR compression exploits;
+//   - heterogeneous sampling rates across vehicles (the paper's Fig. 1
+//     motivation);
+//   - lognormal speeds, stops at hubs, and 273 × ~411 samples matching the
+//     published cardinalities (Table 2).
+package trucks
+
+import (
+	"math"
+	"math/rand"
+
+	"mstsearch/internal/trajectory"
+)
+
+// Config parameterizes the fleet generator.
+type Config struct {
+	// NumTrucks is the fleet size (paper: 273).
+	NumTrucks int
+	// TargetSegments is the approximate total segment count
+	// (paper: 112 203); per-truck sample counts are drawn around
+	// TargetSegments/NumTrucks with ±25 % spread.
+	TargetSegments int
+	// NumHubs is the number of depot/customer sites of the road network.
+	NumHubs int
+	// SpeedSigma is the lognormal σ of driving speeds.
+	SpeedSigma float64
+	// StopProb is the probability of pausing at each visited hub.
+	StopProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Defaults fills zero fields with the paper-matching values.
+func (c Config) Defaults() Config {
+	if c.NumTrucks == 0 {
+		c.NumTrucks = 273
+	}
+	if c.TargetSegments == 0 {
+		c.TargetSegments = 112203
+	}
+	if c.NumHubs == 0 {
+		c.NumHubs = 40
+	}
+	if c.SpeedSigma == 0 {
+		c.SpeedSigma = 0.6
+	}
+	if c.StopProb == 0 {
+		c.StopProb = 0.3
+	}
+	return c
+}
+
+// Generate produces the fleet dataset. Every trajectory spans [0, 1] in a
+// unit-square city; truck i has ID i+1 and its own sampling rate.
+func Generate(c Config) *trajectory.Dataset {
+	c = c.Defaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Hub sites, with a depot cluster near the centre.
+	hubs := make([][2]float64, c.NumHubs)
+	for i := range hubs {
+		if i < c.NumHubs/4 {
+			hubs[i] = [2]float64{0.5 + rng.NormFloat64()*0.1, 0.5 + rng.NormFloat64()*0.1}
+		} else {
+			hubs[i] = [2]float64{rng.Float64(), rng.Float64()}
+		}
+		hubs[i][0] = clamp01(hubs[i][0])
+		hubs[i][1] = clamp01(hubs[i][1])
+	}
+
+	meanSamples := float64(c.TargetSegments)/float64(c.NumTrucks) + 1
+	trajs := make([]trajectory.Trajectory, c.NumTrucks)
+	for i := range trajs {
+		spread := 0.75 + rng.Float64()*0.5 // ±25 % heterogeneity
+		samples := int(meanSamples * spread)
+		if samples < 10 {
+			samples = 10
+		}
+		trajs[i] = genTruck(rng, trajectory.ID(i+1), hubs, samples, c)
+	}
+	d, err := trajectory.NewDataset(trajs)
+	if err != nil {
+		panic("trucks: impossible duplicate id: " + err.Error())
+	}
+	return d
+}
+
+// genTruck drives one truck along a hub route and samples it n times
+// uniformly in [0, 1].
+func genTruck(rng *rand.Rand, id trajectory.ID, hubs [][2]float64, n int, c Config) trajectory.Trajectory {
+	// Build the route as waypoints with associated arrival "progress"
+	// weights: legs take time proportional to distance/speed, stops add
+	// dwell time at zero distance.
+	type waypoint struct {
+		x, y float64
+		w    float64 // time weight of the leg ending here
+	}
+	cur := rng.Intn(len(hubs))
+	x, y := hubs[cur][0], hubs[cur][1]
+	route := []waypoint{{x, y, 0}}
+	legs := 6 + rng.Intn(10)
+	for l := 0; l < legs; l++ {
+		next := nearbyHub(rng, hubs, cur)
+		nx, ny := hubs[next][0], hubs[next][1]
+		d := math.Hypot(nx-x, ny-y)
+		speed := math.Exp(rng.NormFloat64() * c.SpeedSigma) // relative speed
+		route = append(route, waypoint{nx, ny, d / speed})
+		if rng.Float64() < c.StopProb {
+			route = append(route, waypoint{nx, ny, 0.05 + rng.Float64()*0.15})
+		}
+		cur, x, y = next, nx, ny
+	}
+	// Normalize cumulative weights onto [0, 1].
+	total := 0.0
+	for _, w := range route {
+		total += w.w
+	}
+	if total == 0 {
+		total = 1
+	}
+	cum := make([]float64, len(route))
+	acc := 0.0
+	for i, w := range route {
+		acc += w.w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+
+	tr := trajectory.Trajectory{ID: id, Samples: make([]trajectory.Sample, n)}
+	seg := 0
+	for j := 0; j < n; j++ {
+		t := float64(j) / float64(n-1)
+		for seg < len(route)-1 && cum[seg+1] < t {
+			seg++
+		}
+		// Interpolate within the active leg.
+		lo, hi := cum[seg], 1.0
+		if seg+1 < len(route) {
+			hi = cum[seg+1]
+		}
+		f := 0.0
+		if hi > lo {
+			f = (t - lo) / (hi - lo)
+		}
+		a := route[seg]
+		b := a
+		if seg+1 < len(route) {
+			b = route[seg+1]
+		}
+		// Small GPS-style noise keeps samples off the exact road line.
+		tr.Samples[j] = trajectory.Sample{
+			X: a.x + f*(b.x-a.x) + rng.NormFloat64()*2e-4,
+			Y: a.y + f*(b.y-a.y) + rng.NormFloat64()*2e-4,
+			T: t,
+		}
+	}
+	return tr
+}
+
+// nearbyHub picks the next hub, preferring close ones (roads connect
+// neighbouring sites).
+func nearbyHub(rng *rand.Rand, hubs [][2]float64, cur int) int {
+	best, bestScore := cur, math.Inf(1)
+	x, y := hubs[cur][0], hubs[cur][1]
+	for probe := 0; probe < 6; probe++ {
+		i := rng.Intn(len(hubs))
+		if i == cur {
+			continue
+		}
+		d := math.Hypot(hubs[i][0]-x, hubs[i][1]-y)
+		score := d * (0.5 + rng.Float64())
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == cur {
+		best = (cur + 1) % len(hubs)
+	}
+	return best
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

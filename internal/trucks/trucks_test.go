@@ -1,0 +1,83 @@
+package trucks
+
+import (
+	"math"
+	"testing"
+
+	"mstsearch/internal/tdtr"
+)
+
+func TestGenerateMatchesPaperCardinalities(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Len() != 273 {
+		t.Fatalf("trucks = %d, want 273", d.Len())
+	}
+	segs := d.NumSegments()
+	// Within 10 % of the published 112 203 line segments.
+	if math.Abs(float64(segs)-112203) > 0.1*112203 {
+		t.Fatalf("segments = %d, want ≈112203", segs)
+	}
+	for i := range d.Trajs {
+		if err := d.Trajs[i].Validate(); err != nil {
+			t.Fatalf("truck %d invalid: %v", d.Trajs[i].ID, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	a := Generate(Config{NumTrucks: 5, TargetSegments: 500, Seed: 2})
+	b := Generate(Config{NumTrucks: 5, TargetSegments: 500, Seed: 2})
+	for i := range a.Trajs {
+		for j := range a.Trajs[i].Samples {
+			if a.Trajs[i].Samples[j] != b.Trajs[i].Samples[j] {
+				t.Fatal("same seed must reproduce")
+			}
+		}
+	}
+	c := Generate(Config{NumTrucks: 5, TargetSegments: 500, Seed: 3})
+	if a.Trajs[0].Samples[10] == c.Trajs[0].Samples[10] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestHeterogeneousSamplingRates(t *testing.T) {
+	d := Generate(Config{Seed: 4})
+	minN, maxN := math.MaxInt32, 0
+	for i := range d.Trajs {
+		n := len(d.Trajs[i].Samples)
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN-minN < 50 {
+		t.Fatalf("sampling rates too uniform: min %d max %d", minN, maxN)
+	}
+}
+
+func TestTrucksCompressWell(t *testing.T) {
+	// Network-constrained movement must compress far better than noise:
+	// at p = 1 % most vertices should vanish (Fig. 8 behaviour).
+	d := Generate(Config{NumTrucks: 10, TargetSegments: 4000, Seed: 5})
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		c := tdtr.CompressRatio(tr, 0.01)
+		if len(c.Samples) > len(tr.Samples)/3 {
+			t.Fatalf("truck %d barely compresses: %d of %d vertices kept",
+				tr.ID, len(c.Samples), len(tr.Samples))
+		}
+	}
+}
+
+func TestTrucksStayInCity(t *testing.T) {
+	d := Generate(Config{NumTrucks: 20, TargetSegments: 8000, Seed: 6})
+	for i := range d.Trajs {
+		for _, s := range d.Trajs[i].Samples {
+			if s.X < -0.01 || s.X > 1.01 || s.Y < -0.01 || s.Y > 1.01 {
+				t.Fatalf("truck %d leaves the city: %+v", d.Trajs[i].ID, s)
+			}
+		}
+	}
+}

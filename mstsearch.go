@@ -1,0 +1,689 @@
+// Package mstsearch is a library for spatiotemporal trajectory similarity
+// search in moving-object databases, implementing "Index-based Most
+// Similar Trajectory Search" (Frentzos, Gratsias, Theodoridis — ICDE
+// 2007): the DISSIM dissimilarity metric (the time integral of the
+// Euclidean distance between two trajectories), its cheap trapezoid
+// approximation with a certified error bound, and a best-first k-Most-
+// Similar-Trajectory (k-MST) search algorithm that runs on general-purpose
+// R-tree-like structures — the same indexes a MOD already maintains for
+// range and nearest-neighbour queries.
+//
+// # Quick start
+//
+//	db, err := mstsearch.NewDB(mstsearch.TBTree, trajectories)
+//	results, stats, err := db.KMostSimilar(&query, t1, t2, 5)
+//
+// The package also exposes the building blocks: exact and approximate
+// DISSIM between two trajectories, the LCSS/EDR/DTW baseline measures, and
+// TD-TR trajectory compression.
+package mstsearch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"mstsearch/internal/baselines"
+	"mstsearch/internal/dissim"
+	"mstsearch/internal/geom"
+	"mstsearch/internal/index"
+	"mstsearch/internal/mst"
+	"mstsearch/internal/rtree"
+	"mstsearch/internal/selectivity"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/strtree"
+	"mstsearch/internal/tbtree"
+	"mstsearch/internal/tdtr"
+	"mstsearch/internal/topology"
+	"mstsearch/internal/trajectory"
+)
+
+// Core model types, re-exported from the internal trajectory package.
+type (
+	// Trajectory is a moving object's history: (x, y, t) samples with
+	// strictly increasing timestamps and linear interpolation in between.
+	Trajectory = trajectory.Trajectory
+	// Sample is one recorded position.
+	Sample = trajectory.Sample
+	// ID identifies a trajectory.
+	ID = trajectory.ID
+)
+
+// IndexKind selects the R-tree-like structure backing a DB.
+type IndexKind int
+
+// The R-tree-family structures of the paper's §4.5. All three answer the
+// same queries: the 3D R-tree discriminates purely spatially (fastest
+// short queries), the TB-tree bundles each trajectory's segments into
+// dedicated leaves (smallest index, best I/O on long queries), and the
+// STR-tree sits between the two, clustering trajectory runs inside a
+// spatially organized tree.
+const (
+	RTree3D IndexKind = iota
+	TBTree
+	STRTree
+)
+
+// String names the structure.
+func (k IndexKind) String() string {
+	switch k {
+	case TBTree:
+		return "TB-tree"
+	case STRTree:
+		return "STR-tree"
+	default:
+		return "3D R-tree"
+	}
+}
+
+// Result is one k-MST answer, most similar first.
+type Result struct {
+	TrajID ID
+	// Dissim is the DISSIM value; Err is its certified error bound
+	// (0 when the exact post-refinement ran).
+	Dissim float64
+	Err    float64
+}
+
+// SearchStats reports the work one query performed.
+type SearchStats struct {
+	NodesAccessed   int
+	TotalNodes      int
+	PruningPower    float64 // fraction of tree nodes never touched
+	PageReads       uint64  // physical page reads (buffer misses)
+	BufferHits      uint64
+	TerminatedEarly bool
+}
+
+// Options tunes a search beyond the defaults; the zero value is sensible.
+type Options struct {
+	// ExactRefine recomputes exact DISSIM for result candidates whose
+	// error intervals overlap (default true via DB.KMostSimilar).
+	ExactRefine bool
+	// DisableHeuristic1 / DisableHeuristic2 switch off the paper's pruning
+	// heuristics — useful only for measurement.
+	DisableHeuristic1 bool
+	DisableHeuristic2 bool
+	// Refine subdivides each sampling interval for a tighter trapezoid
+	// bound (1 = the paper's Lemma 1).
+	Refine int
+	// ExcludeIDs are trajectories never reported — typically the query's
+	// own stored twin in "more like this one" searches.
+	ExcludeIDs []ID
+}
+
+// DB is a trajectory database: an in-memory trajectory store plus a paged
+// spatiotemporal index (4 KB pages) queried through an LRU buffer pool
+// sized by the paper's policy (10 % of the index, ≤1000 pages).
+type DB struct {
+	kind  IndexKind
+	file  *storage.File
+	rt    *rtree.Tree
+	tb    *tbtree.Tree
+	st    *strtree.Tree
+	trajs []Trajectory
+	byID  map[ID]int
+	vmax  float64
+
+	warm *storage.SharedPool // optional warm buffer shared across queries
+
+	dsMu sync.Mutex
+	ds   *trajectory.Dataset    // cached view over trajs; nil after Add
+	hist *selectivity.Histogram // cached selectivity histogram; nil after Add
+}
+
+// statsPager is the query-side pager view: page access plus counters.
+type statsPager interface {
+	storage.Pager
+	Stats() storage.Stats
+}
+
+// Open creates an empty database backed by the chosen index structure.
+func Open(kind IndexKind) *DB {
+	db := &DB{kind: kind, file: storage.NewFile(storage.DefaultPageSize), byID: map[ID]int{}}
+	switch kind {
+	case TBTree:
+		db.tb = tbtree.New(db.file)
+	case STRTree:
+		db.st = strtree.New(db.file)
+	default:
+		db.rt = rtree.New(db.file)
+	}
+	return db
+}
+
+// NewDB creates a database and bulk-adds the trajectories.
+func NewDB(kind IndexKind, trajs []Trajectory) (*DB, error) {
+	db := Open(kind)
+	for i := range trajs {
+		if err := db.Add(trajs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ErrDuplicateID reports an Add with an already-stored trajectory ID.
+var ErrDuplicateID = errors.New("mstsearch: duplicate trajectory id")
+
+// Add validates and indexes one trajectory.
+func (db *DB) Add(tr Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("mstsearch: %w", err)
+	}
+	if _, dup := db.byID[tr.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, tr.ID)
+	}
+	switch db.kind {
+	case TBTree:
+		if err := db.tb.InsertTrajectory(&tr); err != nil {
+			return err
+		}
+	case STRTree:
+		if err := db.st.InsertTrajectory(&tr); err != nil {
+			return err
+		}
+	default:
+		for s := 0; s < tr.NumSegments(); s++ {
+			e := index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}
+			if err := db.rt.Insert(e); err != nil {
+				return err
+			}
+		}
+	}
+	db.byID[tr.ID] = len(db.trajs)
+	db.trajs = append(db.trajs, tr)
+	db.vmax = math.Max(db.vmax, tr.MaxSpeed())
+	db.invalidate()
+	return nil
+}
+
+// invalidate drops caches made stale by a mutation: the dataset view, the
+// selectivity histogram, and the warm buffer pool (whose frames no longer
+// reflect the rewritten index pages).
+func (db *DB) invalidate() {
+	db.dsMu.Lock()
+	db.ds = nil
+	db.hist = nil
+	db.dsMu.Unlock()
+	if db.warm != nil {
+		db.warm = storage.NewSharedPaperPool(db.file)
+	}
+}
+
+// AppendSample extends a stored trajectory with one newer position — the
+// online maintenance path of a live MOD, where location updates stream in.
+// The new segment is indexed immediately and is visible to subsequent
+// queries. The sample's timestamp must be strictly after the trajectory's
+// current end.
+func (db *DB) AppendSample(id ID, s Sample) error {
+	i, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("mstsearch: unknown trajectory %d", id)
+	}
+	tr := &db.trajs[i]
+	last := tr.Samples[len(tr.Samples)-1]
+	if s.T <= last.T {
+		return fmt.Errorf("mstsearch: sample at t=%g not after trajectory end t=%g", s.T, last.T)
+	}
+	e := index.LeafEntry{
+		TrajID: id,
+		SeqNo:  uint32(tr.NumSegments()),
+		Seg: geom.Segment{
+			A: geom.STPoint{X: last.X, Y: last.Y, T: last.T},
+			B: geom.STPoint{X: s.X, Y: s.Y, T: s.T},
+		},
+	}
+	var err error
+	switch db.kind {
+	case TBTree:
+		err = db.tb.Insert(e)
+	case STRTree:
+		err = db.st.Insert(e)
+	default:
+		err = db.rt.Insert(e)
+	}
+	if err != nil {
+		return err
+	}
+	tr.Samples = append(tr.Samples, s)
+	db.vmax = math.Max(db.vmax, e.Seg.Speed())
+	db.invalidate()
+	return nil
+}
+
+// dataset returns the cached dataset view, rebuilding after inserts.
+// Queries may run concurrently with each other (each builds its own buffer
+// pool); Add must not race with queries.
+func (db *DB) dataset() (*trajectory.Dataset, error) {
+	db.dsMu.Lock()
+	defer db.dsMu.Unlock()
+	if db.ds == nil {
+		ds, err := trajectory.NewDataset(db.trajs)
+		if err != nil {
+			return nil, err
+		}
+		db.ds = ds
+	}
+	return db.ds, nil
+}
+
+// Get returns a stored trajectory, or nil.
+func (db *DB) Get(id ID) *Trajectory {
+	i, ok := db.byID[id]
+	if !ok {
+		return nil
+	}
+	return &db.trajs[i]
+}
+
+// Len returns the number of stored trajectories.
+func (db *DB) Len() int { return len(db.trajs) }
+
+// NumSegments returns the total indexed segment count.
+func (db *DB) NumSegments() int {
+	n := 0
+	for i := range db.trajs {
+		n += db.trajs[i].NumSegments()
+	}
+	return n
+}
+
+// IndexSizeMB returns the index size in megabytes.
+func (db *DB) IndexSizeMB() float64 {
+	return float64(db.file.SizeBytes()) / (1024 * 1024)
+}
+
+// EnableWarmBuffer switches the database from per-query buffer pools to a
+// single latch-protected pool shared by all queries (the paper's policy:
+// 10 % of the index, ≤1000 pages). A warm shared cache matches how a
+// database actually serves a workload — repeat queries stop paying
+// physical reads — and is safe under concurrent queries. Call it after
+// loading the data; mutations (Add/AppendSample) automatically replace
+// the pool so cached frames never go stale.
+func (db *DB) EnableWarmBuffer() {
+	db.warm = storage.NewSharedPaperPool(db.file)
+}
+
+// view builds a buffered read view of the index: the shared warm pool when
+// enabled, otherwise a fresh per-query pool.
+func (db *DB) view() (index.Tree, statsPager) {
+	var bp statsPager
+	if db.warm != nil {
+		bp = db.warm
+	} else {
+		bp = storage.NewPaperBuffer(db.file)
+	}
+	switch db.kind {
+	case TBTree:
+		return tbtree.Open(bp, db.tb.Meta()), bp
+	case STRTree:
+		return strtree.Open(bp, db.st.Meta()), bp
+	default:
+		return rtree.Open(bp, db.rt.Meta()), bp
+	}
+}
+
+// KMostSimilar runs a k-MST query: the k stored trajectories with the
+// smallest DISSIM from q over the period [t1, t2] (both q and the answers
+// must be defined throughout the period). Results come back most similar
+// first with exact dissimilarities.
+func (db *DB) KMostSimilar(q *Trajectory, t1, t2 float64, k int) ([]Result, SearchStats, error) {
+	return db.KMostSimilarOpts(q, t1, t2, k, Options{ExactRefine: true, Refine: 1})
+}
+
+// KMostSimilarOpts is KMostSimilar with explicit Options.
+func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
+	tree, bp := db.view()
+	before := bp.Stats() // per-query I/O = counter delta (fresh pools start at zero)
+	opts := mst.Options{
+		K:                 k,
+		Vmax:              db.vmax + q.MaxSpeed(),
+		Refine:            o.Refine,
+		DisableHeuristic1: o.DisableHeuristic1,
+		DisableHeuristic2: o.DisableHeuristic2,
+		ExcludeIDs:        o.ExcludeIDs,
+	}
+	if o.ExactRefine {
+		ds, err := db.dataset()
+		if err != nil {
+			return nil, SearchStats{}, err
+		}
+		opts.Data = ds
+	}
+	res, st, err := mst.Search(tree, q, t1, t2, opts)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{TrajID: r.TrajID, Dissim: r.Dissim, Err: r.Err}
+	}
+	bs := bp.Stats()
+	return out, SearchStats{
+		NodesAccessed:   st.NodesAccessed,
+		TotalNodes:      st.TotalNodes,
+		PruningPower:    st.PruningPower,
+		PageReads:       bs.Misses - before.Misses, // each miss is one physical read
+		BufferHits:      bs.Hits - before.Hits,
+		TerminatedEarly: st.TerminatedEarly,
+	}, nil
+}
+
+// KMostSimilarTo finds the k stored trajectories most similar to the
+// stored trajectory id over [t1, t2], excluding the trajectory itself.
+func (db *DB) KMostSimilarTo(id ID, t1, t2 float64, k int) ([]Result, SearchStats, error) {
+	tr := db.Get(id)
+	if tr == nil {
+		return nil, SearchStats{}, fmt.Errorf("mstsearch: unknown trajectory %d", id)
+	}
+	q := tr.Clone()
+	return db.KMostSimilarOpts(&q, t1, t2, k, Options{
+		ExactRefine: true, Refine: 1, ExcludeIDs: []ID{id},
+	})
+}
+
+// KMostSimilarAuto answers a k-MST query through whichever execution plan
+// the selectivity cost model predicts is cheaper: the index-based
+// BFMSTSearch, or — when the predicted corridor covers most of the data,
+// so the index would touch nearly everything anyway — a direct exact scan
+// of the trajectory store. The bool reports whether the index was used.
+func (db *DB) KMostSimilarAuto(q *Trajectory, t1, t2 float64, k int) ([]Result, bool, error) {
+	est, err := db.EstimateQueryCost(q, t1, t2, k)
+	if err != nil {
+		return nil, false, err
+	}
+	// Index plan cost ≈ predicted leaf pages; scan plan cost ≈ reading the
+	// whole store. Prefer the scan when the corridor spans most of the
+	// segment mass (the index can no longer prune, but still pays
+	// traversal and bound-maintenance overhead).
+	if est.ExpectedSegments < 0.5*float64(db.NumSegments()) {
+		res, _, err := db.KMostSimilar(q, t1, t2, k)
+		return res, true, err
+	}
+	ds, err := db.dataset()
+	if err != nil {
+		return nil, false, err
+	}
+	scan := baselines.LinearScanMST(ds, q, t1, t2, k)
+	out := make([]Result, len(scan))
+	for i, r := range scan {
+		out[i] = Result{TrajID: r.TrajID, Dissim: r.Dissim}
+	}
+	return out, false, nil
+}
+
+// Dissimilarity returns the exact DISSIM between two trajectories over
+// [t1, t2]; ok is false when either does not cover the period.
+func Dissimilarity(q, t *Trajectory, t1, t2 float64) (float64, bool) {
+	return dissim.Exact(q, t, t1, t2)
+}
+
+// DissimilarityApprox returns the trapezoid-rule DISSIM (Lemma 1) and its
+// certified error bound: the exact value lies within ±errBound.
+func DissimilarityApprox(q, t *Trajectory, t1, t2 float64) (value, errBound float64, ok bool) {
+	v, ok := dissim.Approx(q, t, t1, t2, 1)
+	return v.Approx, v.Err, ok
+}
+
+// LCSSSimilarity is the Longest Common SubSequence similarity in [0, 1]
+// (1 = identical); eps is the per-axis matching threshold, delta the index
+// band (< 0 disables).
+func LCSSSimilarity(a, b *Trajectory, eps float64, delta int) float64 {
+	return baselines.LCSS(a, b, eps, delta)
+}
+
+// EDRDistance is the Edit Distance on Real sequence (smaller = more
+// similar).
+func EDRDistance(a, b *Trajectory, eps float64) int { return baselines.EDR(a, b, eps) }
+
+// DTWDistance is the Dynamic Time Warping distance (smaller = more
+// similar).
+func DTWDistance(a, b *Trajectory) float64 { return baselines.DTW(a, b) }
+
+// CompressTDTR compresses a trajectory with the TD-TR algorithm; p is the
+// tolerance as a fraction of the trajectory's length (e.g. 0.01 = 1 %).
+func CompressTDTR(tr *Trajectory, p float64) Trajectory {
+	return tdtr.CompressRatio(tr, p)
+}
+
+// SegmentHit is one range-query answer: a stored trajectory's motion
+// segment intersecting the query window.
+type SegmentHit struct {
+	TrajID ID
+	SeqNo  uint32
+	// X1, Y1, T1 — X2, Y2, T2 are the segment's endpoints.
+	X1, Y1, T1 float64
+	X2, Y2, T2 float64
+}
+
+// RangeQuery returns every stored segment intersecting the spatial window
+// [minX, maxX] × [minY, maxY] during [t1, t2] — the classical
+// spatiotemporal range query, served by the same index as KMostSimilar.
+func (db *DB) RangeQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]SegmentHit, error) {
+	tree, _ := db.view()
+	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
+	entries, err := index.RangeSearch(tree, box)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentHit, len(entries))
+	for i, e := range entries {
+		out[i] = SegmentHit{
+			TrajID: e.TrajID, SeqNo: e.SeqNo,
+			X1: e.Seg.A.X, Y1: e.Seg.A.Y, T1: e.Seg.A.T,
+			X2: e.Seg.B.X, Y2: e.Seg.B.Y, T2: e.Seg.B.T,
+		}
+	}
+	return out, nil
+}
+
+// Neighbor is one historical point-NN answer.
+type Neighbor struct {
+	TrajID ID
+	Dist   float64
+}
+
+// NearestAt returns the k moving objects closest to point (x, y) at time
+// instant t — the historical nearest-neighbour query of [6], served by the
+// same index.
+func (db *DB) NearestAt(x, y, t float64, k int) ([]Neighbor, error) {
+	tree, _ := db.view()
+	res, err := index.NearestAt(tree, geom.Point{X: x, Y: y}, t, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{TrajID: r.TrajID, Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// TopologyResult describes how one stored trajectory relates to a queried
+// region during a time window.
+type TopologyResult struct {
+	TrajID ID
+	// Relation is the topological predicate name: "inside", "enter",
+	// "leave", "cross", "detour" or "weave" (objects never entering the
+	// region are not reported).
+	Relation string
+	// InsideDuration is the total time spent inside the region.
+	InsideDuration float64
+}
+
+// TopologyQuery classifies every stored trajectory that touches the
+// spatial region [minX, maxX] × [minY, maxY] during [t1, t2] by its
+// topological relation (enter/leave/cross/…). Candidates are found through
+// the index; objects that never enter the region are omitted.
+func (db *DB) TopologyQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyResult, error) {
+	tree, _ := db.view()
+	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
+	entries, err := index.RangeSearch(tree, box)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[ID]bool{}
+	region := geom.Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+	var out []TopologyResult
+	for _, e := range entries {
+		if seen[e.TrajID] {
+			continue
+		}
+		seen[e.TrajID] = true
+		tr := db.Get(e.TrajID)
+		if tr == nil {
+			continue
+		}
+		rel, eps, ok := topology.Classify(tr, region, t1, t2)
+		if !ok || rel == topology.Disjoint {
+			continue
+		}
+		out = append(out, TopologyResult{
+			TrajID:         e.TrajID,
+			Relation:       rel.String(),
+			InsideDuration: topology.InsideDuration(eps),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TrajID < out[j].TrajID })
+	return out, nil
+}
+
+// RelaxedResult is one time-relaxed k-MST answer: the best DISSIM over all
+// feasible time shifts of the query, and the shift achieving it.
+type RelaxedResult struct {
+	TrajID ID
+	Dissim float64
+	Offset float64
+}
+
+// KMostSimilarRelaxed answers the Time-Relaxed MST query (the paper's §6
+// research direction): the k trajectories minimizing DISSIM over every
+// feasible time shift of the query — similarity of motion regardless of
+// when each object set out. Evaluated by an optimizing scan (grid +
+// golden-section per candidate); trajectories shorter than the query are
+// skipped.
+func (db *DB) KMostSimilarRelaxed(q *Trajectory, k int) ([]RelaxedResult, error) {
+	ds, err := db.dataset()
+	if err != nil {
+		return nil, err
+	}
+	res := mst.RelaxedScan(ds, q, k, mst.RelaxedOptions{})
+	out := make([]RelaxedResult, len(res))
+	for i, r := range res {
+		out[i] = RelaxedResult{TrajID: r.TrajID, Dissim: r.Dissim, Offset: r.Offset}
+	}
+	return out, nil
+}
+
+// QueryCostEstimate prices a k-MST query before running it (see package
+// selectivity; the paper's §6 query-optimization direction).
+type QueryCostEstimate struct {
+	// CorridorRadius is the predicted spatial radius within which the k
+	// answers travel.
+	CorridorRadius float64
+	// ExpectedSegments is the predicted leaf-entry workload.
+	ExpectedSegments float64
+	// ExpectedLeafPages approximates the leaf I/O of the search.
+	ExpectedLeafPages float64
+	// RangeSelectivity of the query's bounding window, for comparison
+	// with a plain range scan.
+	RangeSelectivity float64
+}
+
+// EstimateQueryCost predicts the work a KMostSimilar call would perform,
+// using a 3D histogram over the stored segments (built lazily, cached
+// until the next Add).
+func (db *DB) EstimateQueryCost(q *Trajectory, t1, t2 float64, k int) (QueryCostEstimate, error) {
+	h, err := db.histogram()
+	if err != nil {
+		return QueryCostEstimate{}, err
+	}
+	est := h.EstimateKMST(q, t1, t2, k, index.MaxLeafEntries(db.file.PageSize()))
+	box := q.Bounds()
+	box.MinX -= est.Radius
+	box.MinY -= est.Radius
+	box.MaxX += est.Radius
+	box.MaxY += est.Radius
+	box.MinT, box.MaxT = t1, t2
+	return QueryCostEstimate{
+		CorridorRadius:    est.Radius,
+		ExpectedSegments:  est.Segments,
+		ExpectedLeafPages: est.LeafPages,
+		RangeSelectivity:  h.Selectivity(box),
+	}, nil
+}
+
+// EstimateRangeCount predicts how many segments a RangeQuery would return.
+func (db *DB) EstimateRangeCount(minX, minY, maxX, maxY, t1, t2 float64) (float64, error) {
+	h, err := db.histogram()
+	if err != nil {
+		return 0, err
+	}
+	return h.EstimateRange(geom.MBB{
+		MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2,
+	}), nil
+}
+
+// histogram lazily builds the selectivity histogram (resolution grows with
+// the cube root of the segment count, capped for memory).
+func (db *DB) histogram() (*selectivity.Histogram, error) {
+	db.dsMu.Lock()
+	defer db.dsMu.Unlock()
+	if db.hist != nil {
+		return db.hist, nil
+	}
+	if db.ds == nil {
+		ds, err := trajectory.NewDataset(db.trajs)
+		if err != nil {
+			return nil, err
+		}
+		db.ds = ds
+	}
+	res := int(math.Cbrt(float64(db.NumSegments()))) / 2
+	if res < 4 {
+		res = 4
+	}
+	if res > 32 {
+		res = 32
+	}
+	h, err := selectivity.Build(db.ds, res, res, res)
+	if err != nil {
+		return nil, err
+	}
+	db.hist = h
+	return h, nil
+}
+
+// Geographic import helpers, re-exported from the trajectory model: build
+// metric trajectories from GPS fixes via a local projection.
+type (
+	// GeoSample is one GPS fix (degrees, seconds).
+	GeoSample = trajectory.GeoSample
+	// GeoProjection is a local equirectangular projection shared by a
+	// dataset.
+	GeoProjection = trajectory.GeoProjection
+)
+
+// NewGeoProjection creates a projection centred at (lat0, lon0) degrees.
+func NewGeoProjection(lat0, lon0 float64) (*GeoProjection, error) {
+	return trajectory.NewGeoProjection(lat0, lon0)
+}
+
+// FromLatLon converts GPS fixes to a metric trajectory under the
+// projection (x east, y north, metres; time in seconds).
+func FromLatLon(p *GeoProjection, id ID, samples []GeoSample) (Trajectory, error) {
+	return trajectory.FromLatLon(p, id, samples)
+}
+
+// ReadTrajectoriesCSV parses trajectories from "id,x,y,t" rows (samples
+// grouped by id in temporal order).
+func ReadTrajectoriesCSV(r io.Reader) ([]Trajectory, error) { return trajectory.ReadCSV(r) }
+
+// WriteTrajectoriesCSV writes trajectories as "id,x,y,t" rows.
+func WriteTrajectoriesCSV(w io.Writer, trajs []Trajectory) error {
+	return trajectory.WriteCSV(w, trajs)
+}

@@ -1,0 +1,252 @@
+package mstsearch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"mstsearch/internal/rtree"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/strtree"
+	"mstsearch/internal/tbtree"
+)
+
+// Snapshot format (little endian):
+//
+//	magic "MSTDB\x00"   6 B
+//	version             u16       (currently 1)
+//	kind                u8
+//	root, height, nodes u32 ×3    (index metadata)
+//	vmax                f64
+//	pageSize, numPages  u32 ×2
+//	pages               numPages × pageSize raw bytes
+//	numTrajs            u32
+//	per trajectory:     id u32, numSamples u32, samples (x, y, t as f64)
+//	crc32 (IEEE) of everything above   u32
+//
+// The CRC catches torn writes and on-disk corruption at load time.
+
+var snapshotMagic = [6]byte{'M', 'S', 'T', 'D', 'B', 0}
+
+const snapshotVersion = 1
+
+// Errors returned by Load.
+var (
+	ErrBadSnapshot     = errors.New("mstsearch: not a database snapshot")
+	ErrSnapshotVersion = errors.New("mstsearch: unsupported snapshot version")
+	ErrSnapshotCRC     = errors.New("mstsearch: snapshot checksum mismatch")
+)
+
+// Save writes the whole database — index pages and trajectory store — to
+// path atomically (write to a temp file, then rename).
+func (db *DB) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
+
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fail(err)
+	}
+	meta := db.indexMeta()
+	hdr := []any{
+		uint16(snapshotVersion), uint8(db.kind),
+		uint32(meta.Root), uint32(meta.Height), uint32(meta.Nodes),
+		db.vmax,
+		uint32(db.file.PageSize()), uint32(db.file.NumPages()),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return fail(err)
+		}
+	}
+	for i := 0; i < db.file.NumPages(); i++ {
+		page, err := db.file.Read(storage.PageID(i))
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := bw.Write(page); err != nil {
+			return fail(err)
+		}
+	}
+	if err := write(uint32(len(db.trajs))); err != nil {
+		return fail(err)
+	}
+	for i := range db.trajs {
+		tr := &db.trajs[i]
+		if err := write(uint32(tr.ID)); err != nil {
+			return fail(err)
+		}
+		if err := write(uint32(len(tr.Samples))); err != nil {
+			return fail(err)
+		}
+		for _, s := range tr.Samples {
+			if err := write([3]float64{s.X, s.Y, s.T}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	// The CRC of everything written so far, outside the checksummed region.
+	if err := binary.Write(f, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// indexMeta returns the active tree's root metadata in a common shape.
+func (db *DB) indexMeta() rtree.Meta {
+	switch db.kind {
+	case TBTree:
+		m := db.tb.Meta()
+		return rtree.Meta{Root: m.Root, Height: m.Height, Nodes: m.Nodes}
+	case STRTree:
+		m := db.st.Meta()
+		return rtree.Meta{Root: m.Root, Height: m.Height, Nodes: m.Nodes}
+	default:
+		return db.rt.Meta()
+	}
+}
+
+// Load reads a database snapshot written by Save. The returned DB serves
+// queries; further Adds go to the same in-memory page file.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Verify the trailing CRC before parsing.
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < int64(len(snapshotMagic))+4 {
+		return nil, ErrBadSnapshot
+	}
+	body := io.LimitReader(f, st.Size()-4)
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(io.TeeReader(body, crc), 1<<20)
+
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadSnapshot
+	}
+	if magic != snapshotMagic {
+		return nil, ErrBadSnapshot
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var (
+		version                  uint16
+		kind                     uint8
+		root, height, nodes      uint32
+		vmax                     float64
+		pageSize, numPages, nTrj uint32
+	)
+	for _, v := range []any{&version, &kind, &root, &height, &nodes, &vmax, &pageSize, &numPages} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+		}
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: %d", ErrSnapshotVersion, version)
+	}
+	if pageSize == 0 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("%w: page size %d", ErrBadSnapshot, pageSize)
+	}
+
+	db := &DB{
+		kind: IndexKind(kind),
+		file: storage.NewFile(int(pageSize)),
+		byID: map[ID]int{},
+		vmax: vmax,
+	}
+	buf := make([]byte, pageSize)
+	for i := uint32(0); i < numPages; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated pages", ErrBadSnapshot)
+		}
+		id, err := db.file.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		if err := db.file.Write(id, buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := read(&nTrj); err != nil {
+		return nil, fmt.Errorf("%w: truncated trajectory section", ErrBadSnapshot)
+	}
+	for i := uint32(0); i < nTrj; i++ {
+		var id, n uint32
+		if err := read(&id); err != nil {
+			return nil, fmt.Errorf("%w: truncated trajectory header", ErrBadSnapshot)
+		}
+		if err := read(&n); err != nil {
+			return nil, fmt.Errorf("%w: truncated trajectory header", ErrBadSnapshot)
+		}
+		tr := Trajectory{ID: ID(id), Samples: make([]Sample, n)}
+		for j := uint32(0); j < n; j++ {
+			var p [3]float64
+			if err := read(&p); err != nil {
+				return nil, fmt.Errorf("%w: truncated samples", ErrBadSnapshot)
+			}
+			tr.Samples[j] = Sample{X: p[0], Y: p[1], T: p[2]}
+		}
+		db.byID[tr.ID] = len(db.trajs)
+		db.trajs = append(db.trajs, tr)
+	}
+
+	var want uint32
+	if err := binary.Read(f, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadSnapshot)
+	}
+	if crc.Sum32() != want {
+		return nil, ErrSnapshotCRC
+	}
+
+	// Rebind the tree to the restored pages. A loaded 3D R-tree remains
+	// writable (its insert needs no build-time state); loaded TB-trees and
+	// STR-trees are read-only — their per-trajectory tail tables are
+	// build-time state — so Add on those returns the tree's ErrReadOnly.
+	meta := rtree.Meta{Root: storage.PageID(root), Height: int(height), Nodes: int(nodes)}
+	switch db.kind {
+	case TBTree:
+		db.tb = tbtree.Open(db.file, tbtree.Meta{Root: meta.Root, Height: meta.Height, Nodes: meta.Nodes})
+	case STRTree:
+		db.st = strtree.Open(db.file, strtree.Meta{Root: meta.Root, Height: meta.Height, Nodes: meta.Nodes})
+	default:
+		db.rt = rtree.Open(db.file, meta)
+	}
+	if db.vmax == 0 {
+		for i := range db.trajs {
+			db.vmax = math.Max(db.vmax, db.trajs[i].MaxSpeed())
+		}
+	}
+	return db, nil
+}
