@@ -1,0 +1,308 @@
+package mstsearch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mstsearch/internal/storage"
+)
+
+// typedQueryError reports whether err belongs to the documented failure
+// taxonomy of the query path.
+func typedQueryError(err error) bool {
+	return errors.Is(err, ErrInjected) ||
+		errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrPageCorrupt{})
+}
+
+// scanHit is one oracle answer.
+type scanHit struct {
+	id ID
+	d  float64
+}
+
+// linearTopK is the exact brute-force k-MST oracle over the raw slice.
+func linearTopK(trajs []Trajectory, q *Trajectory, t1, t2 float64, k int) []scanHit {
+	var out []scanHit
+	for i := range trajs {
+		if d, ok := Dissimilarity(q, &trajs[i], t1, t2); ok {
+			out = append(out, scanHit{trajs[i].ID, d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].d != out[j].d {
+			return out[i].d < out[j].d
+		}
+		return out[i].id < out[j].id
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TestFaultInjectionSoak is the acceptance soak of the hardening layer:
+// 1000 mixed queries against a database whose page reads fail with
+// probability 1% and return bit-flipped payloads with probability 1%
+// (seeded, reproducible). Every query must end in exactly one of three
+// states — a correct result (validated against the exact linear-scan
+// oracle), a degraded best-effort result with Stats.Degraded set, or a
+// typed error — and the process must never panic.
+func TestFaultInjectionSoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trajs := fleet(rng, 80, 40)
+	db, err := NewDB(RTree3D, trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var queryNo int64
+	db.SetPagerWrapper(func(p Pager) Pager {
+		queryNo++
+		return &storage.FaultyPager{
+			Inner:         p,
+			Seed:          queryNo,
+			ReadFaultRate: 0.01,
+			Transient:     queryNo%2 == 0, // odd queries: faulted pages stay dead
+			BitFlipRate:   0.01,
+		}
+	})
+
+	var correct, degraded, failed, canceled int
+	for i := 0; i < 1000; i++ {
+		src := &trajs[rng.Intn(len(trajs))]
+		t1 := rng.Float64() * 4
+		t2 := t1 + 2 + rng.Float64()*4
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			t.Fatalf("iter %d: window [%g, %g] outside fleet span", i, t1, t2)
+		}
+		q := sl.Clone()
+		q.ID = 0
+		k := 1 + rng.Intn(4)
+
+		switch rng.Intn(10) {
+		case 0: // pre-canceled context: must fail fast with the typed error.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, _, err := db.KMostSimilarContext(ctx, &q, t1, t2, k)
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("iter %d: canceled query returned %v, want ErrCanceled", i, err)
+			}
+			canceled++
+
+		case 1, 2: // tight node budget: degraded, certified ⊆ true top-k.
+			res, st, err := db.KMostSimilarOptsContext(context.Background(), &q, t1, t2, k, Options{
+				ExactRefine: true, Refine: 1, MaxNodeAccesses: 1 + rng.Intn(4),
+			})
+			if err != nil {
+				if !typedQueryError(err) {
+					t.Fatalf("iter %d: untyped error %v", i, err)
+				}
+				failed++
+				break
+			}
+			want := linearTopK(trajs, &q, t1, t2, k)
+			if st.Degraded {
+				degraded++
+				trueTop := map[ID]bool{}
+				for _, w := range want {
+					trueTop[w.id] = true
+				}
+				for _, r := range res {
+					if r.Certified && !trueTop[r.TrajID] {
+						t.Fatalf("iter %d: certified degraded result %d not in true top-%d", i, r.TrajID, k)
+					}
+				}
+				break
+			}
+			checkExact(t, i, res, want)
+			correct++
+
+		case 3: // range query: typed error or exact against brute force.
+			minX, minY := rng.Float64()*80, rng.Float64()*80
+			maxX, maxY := minX+5+rng.Float64()*20, minY+5+rng.Float64()*20
+			hits, err := db.RangeQuery(minX, minY, maxX, maxY, t1, t2)
+			if err != nil {
+				if !typedQueryError(err) {
+					t.Fatalf("iter %d: untyped error %v", i, err)
+				}
+				failed++
+				break
+			}
+			got := map[[2]uint64]bool{}
+			for _, h := range hits {
+				got[[2]uint64{uint64(h.TrajID), uint64(h.SeqNo)}] = true
+			}
+			nWant := 0
+			for ti := range trajs {
+				tr := &trajs[ti]
+				for s := 0; s+1 < len(tr.Samples); s++ {
+					a, b := tr.Samples[s], tr.Samples[s+1]
+					if math.Max(a.T, b.T) < t1 || math.Min(a.T, b.T) > t2 {
+						continue
+					}
+					if math.Max(a.X, b.X) < minX || math.Min(a.X, b.X) > maxX {
+						continue
+					}
+					if math.Max(a.Y, b.Y) < minY || math.Min(a.Y, b.Y) > maxY {
+						continue
+					}
+					nWant++
+					if !got[[2]uint64{uint64(tr.ID), uint64(s)}] {
+						t.Fatalf("iter %d: range query missed segment %d/%d", i, tr.ID, s)
+					}
+				}
+			}
+			if nWant != len(hits) {
+				t.Fatalf("iter %d: range query returned %d hits, oracle %d", i, len(hits), nWant)
+			}
+			correct++
+
+		case 4: // point-NN: typed error or exact against brute force.
+			x, y := rng.Float64()*100, rng.Float64()*100
+			at := t1
+			nn, err := db.NearestAt(x, y, at, k)
+			if err != nil {
+				if !typedQueryError(err) {
+					t.Fatalf("iter %d: untyped error %v", i, err)
+				}
+				failed++
+				break
+			}
+			var want []scanHit
+			for ti := range trajs {
+				tr := &trajs[ti]
+				if !tr.Covers(at, at) {
+					continue
+				}
+				p := tr.At(at)
+				want = append(want, scanHit{tr.ID, math.Hypot(p.X-x, p.Y-y)})
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].d != want[j].d {
+					return want[i].d < want[j].d
+				}
+				return want[i].id < want[j].id
+			})
+			if len(want) > k {
+				want = want[:k]
+			}
+			if len(nn) != len(want) {
+				t.Fatalf("iter %d: NN returned %d, oracle %d", i, len(nn), len(want))
+			}
+			for j := range want {
+				if nn[j].TrajID != want[j].id || math.Abs(nn[j].Dist-want[j].d) > 1e-9 {
+					t.Fatalf("iter %d: NN rank %d = %d (%g), oracle %d (%g)",
+						i, j, nn[j].TrajID, nn[j].Dist, want[j].id, want[j].d)
+				}
+			}
+			correct++
+
+		default: // plain k-MST: typed error or exact against the oracle.
+			res, st, err := db.KMostSimilar(&q, t1, t2, k)
+			if err != nil {
+				if !typedQueryError(err) {
+					t.Fatalf("iter %d: untyped error %v", i, err)
+				}
+				failed++
+				break
+			}
+			if st.Degraded {
+				t.Fatalf("iter %d: unbudgeted query reported Degraded", i)
+			}
+			checkExact(t, i, res, linearTopK(trajs, &q, t1, t2, k))
+			correct++
+		}
+	}
+
+	t.Logf("soak: %d correct, %d degraded, %d typed failures, %d canceled", correct, degraded, failed, canceled)
+	if correct == 0 || degraded == 0 || failed == 0 || canceled == 0 {
+		t.Fatalf("soak did not exercise all outcomes: correct=%d degraded=%d failed=%d canceled=%d",
+			correct, degraded, failed, canceled)
+	}
+}
+
+// checkExact compares a complete (non-degraded) k-MST answer against the
+// oracle: same members in the same order, every result certified.
+func checkExact(t *testing.T, iter int, res []Result, want []scanHit) {
+	t.Helper()
+	if len(res) != len(want) {
+		t.Fatalf("iter %d: got %d results, oracle %d", iter, len(res), len(want))
+	}
+	for j := range want {
+		if res[j].TrajID != want[j].id {
+			t.Fatalf("iter %d: rank %d = traj %d (%g), oracle %d (%g)",
+				iter, j, res[j].TrajID, res[j].Dissim, want[j].id, want[j].d)
+		}
+		if !res[j].Certified {
+			t.Fatalf("iter %d: complete search left result %d uncertified", iter, res[j].TrajID)
+		}
+	}
+}
+
+// TestRecoverAfterCorruption damages an index page in place, observes the
+// typed corruption error, rebuilds with Recover, and verifies queries are
+// exact again.
+func TestRecoverAfterCorruption(t *testing.T) {
+	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(83))
+			trajs := fleet(rng, 40, 30)
+			db, err := NewDB(kind, trajs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := trajs[2].Clone()
+			q.ID = 0
+			want := linearTopK(trajs, &q, 2, 8, 3)
+
+			// Sanity: healthy database answers exactly.
+			res, _, err := db.KMostSimilar(&q, 2, 8, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExact(t, 0, res, want)
+
+			// Smash the root page: every query must now fail with the typed
+			// corruption error carrying the page id — never a wrong answer.
+			root := db.indexMeta().Root
+			if err := db.file.CorruptPage(root, 5); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = db.KMostSimilar(&q, 2, 8, 3)
+			var pc ErrPageCorrupt
+			if !errors.As(err, &pc) {
+				t.Fatalf("corrupted index: got %v, want ErrPageCorrupt", err)
+			}
+			if pc.Page != root {
+				t.Fatalf("ErrPageCorrupt.Page = %d, want root %d", pc.Page, root)
+			}
+
+			// Recover rebuilds the index from the trajectory store.
+			if err := db.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			res, st, err := db.KMostSimilar(&q, 2, 8, 3)
+			if err != nil {
+				t.Fatalf("query after Recover: %v", err)
+			}
+			if st.Degraded {
+				t.Fatal("query after Recover reported Degraded")
+			}
+			checkExact(t, 1, res, want)
+
+			// The rebuilt index is writable even for tree kinds that load
+			// read-only from snapshots.
+			extra := fleet(rng, 1, 20)[0]
+			extra.ID = 9999
+			if err := db.Add(extra); err != nil {
+				t.Fatalf("Add after Recover: %v", err)
+			}
+		})
+	}
+}

@@ -2,6 +2,9 @@ package index
 
 import (
 	"container/heap"
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -15,10 +18,35 @@ import (
 // (§1: "a spatiotemporal index to support both classical range,
 // topological and similarity based queries"). They are written against the
 // Tree interface, so they run on the 3D R-tree and the TB-tree alike.
+//
+// Every traversal takes a context and checks it between node reads, so a
+// canceled or expired query returns promptly with ErrCanceled instead of
+// finishing (or worse, spinning) on a doomed request.
+
+// ErrCanceled reports a query abandoned because its context was canceled
+// or its deadline expired. Errors wrapping it also wrap the context's own
+// error, so errors.Is works against context.Canceled /
+// context.DeadlineExceeded too.
+var ErrCanceled = errors.New("query canceled")
+
+// Canceled returns the typed cancellation error for ctx, or nil when the
+// context is still live.
+func Canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
 
 // RangeSearch returns every leaf entry whose bound intersects box —
 // the classical spatiotemporal window query.
 func RangeSearch(t Tree, box geom.MBB) ([]LeafEntry, error) {
+	return RangeSearchContext(context.Background(), t, box)
+}
+
+// RangeSearchContext is RangeSearch under a context: cancellation is
+// checked before every node read.
+func RangeSearchContext(ctx context.Context, t Tree, box geom.MBB) ([]LeafEntry, error) {
 	root := t.Root()
 	if root == storage.NilPage {
 		return nil, nil
@@ -26,6 +54,9 @@ func RangeSearch(t Tree, box geom.MBB) ([]LeafEntry, error) {
 	var out []LeafEntry
 	stack := []storage.PageID{root}
 	for len(stack) > 0 {
+		if err := Canceled(ctx); err != nil {
+			return nil, err
+		}
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n, err := t.ReadNode(id)
@@ -83,6 +114,12 @@ func (q *nnQueue) Pop() any {
 // beat the current k-th distance. Each object is reported once, at its
 // interpolated position's distance.
 func NearestAt(tr Tree, p geom.Point, t float64, k int) ([]NNResult, error) {
+	return NearestAtContext(context.Background(), tr, p, t, k)
+}
+
+// NearestAtContext is NearestAt under a context: cancellation is checked
+// before every node read.
+func NearestAtContext(ctx context.Context, tr Tree, p geom.Point, t float64, k int) ([]NNResult, error) {
 	if k < 1 {
 		k = 1
 	}
@@ -105,6 +142,9 @@ func NearestAt(tr Tree, p geom.Point, t float64, k int) ([]NNResult, error) {
 	var queue nnQueue
 	heap.Push(&queue, nnItem{page: root, dist: 0})
 	for queue.Len() > 0 {
+		if err := Canceled(ctx); err != nil {
+			return nil, err
+		}
 		it := heap.Pop(&queue).(nnItem)
 		if it.dist > kth() {
 			break

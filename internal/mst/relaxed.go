@@ -1,10 +1,12 @@
 package mst
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"mstsearch/internal/dissim"
+	"mstsearch/internal/index"
 	"mstsearch/internal/trajectory"
 )
 
@@ -141,11 +143,22 @@ func ShiftTime(tr *trajectory.Trajectory, dt float64) trajectory.Trajectory {
 // with RelaxedDissim — the reference implementation of the paper's §6
 // research direction. Trajectories shorter than the query are skipped.
 func RelaxedScan(data *trajectory.Dataset, q *trajectory.Trajectory, k int, opts RelaxedOptions) []RelaxedResult {
+	out, _ := RelaxedScanContext(context.Background(), data, q, k, opts)
+	return out
+}
+
+// RelaxedScanContext is RelaxedScan under a context: cancellation is
+// checked between candidates (each per-candidate optimization is the unit
+// of work), so an abandoned scan stops promptly with ErrCanceled.
+func RelaxedScanContext(ctx context.Context, data *trajectory.Dataset, q *trajectory.Trajectory, k int, opts RelaxedOptions) ([]RelaxedResult, error) {
 	if k < 1 {
 		k = 1
 	}
 	out := make([]RelaxedResult, 0, data.Len())
 	for i := range data.Trajs {
+		if err := index.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		tr := &data.Trajs[i]
 		d, off, ok := RelaxedDissim(q, tr, opts)
 		if !ok {
@@ -162,5 +175,5 @@ func RelaxedScan(data *trajectory.Dataset, q *trajectory.Trajectory, k int, opts
 	if len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }

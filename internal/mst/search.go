@@ -18,6 +18,7 @@ package mst
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,6 +57,19 @@ type Options struct {
 	// bounds) — typically the query's own stored twin when searching "more
 	// like this one".
 	ExcludeIDs []trajectory.ID
+	// MaxNodeAccesses bounds the number of tree nodes the search may read
+	// (0 = unlimited). On exhaustion the search degrades gracefully: it
+	// returns the best-effort top-k assembled so far with Stats.Degraded
+	// set, never exceeding the budget.
+	MaxNodeAccesses int
+	// MaxIOReads bounds the physical page reads (buffer misses) the search
+	// may cause (0 = unlimited). IOReads must be set for the bound to take
+	// effect; it is sampled between node pops, so a single node read may
+	// overshoot by one page.
+	MaxIOReads uint64
+	// IOReads reports the physical reads attributed to this search so far —
+	// typically a closure over the query's buffer-pool miss counter.
+	IOReads func() uint64
 }
 
 func (o *Options) normalize() {
@@ -75,6 +89,13 @@ type Result struct {
 	// trapezoid approximation with Err its certified bound.
 	Dissim float64
 	Err    float64
+	// Certified reports whether the result is provably a member of the
+	// true top-k. Searches that run to completion certify every result;
+	// a budget-degraded search certifies a result only when no unexplored
+	// or partially-explored trajectory can beat it (its upper bound lies
+	// below every unexplored lower bound). Uncertified results are the
+	// best effort seen so far and may be displaced by unexplored data.
+	Certified bool
 }
 
 // Stats reports the work a search performed.
@@ -88,10 +109,19 @@ type Stats struct {
 	Rejected        int     // candidates pruned by Heuristic 1
 	TerminatedEarly bool    // Heuristic 2 fired before queue exhaustion
 	ExactRefined    int     // candidates recomputed exactly in post-processing
+	// Degraded reports that a budget (MaxNodeAccesses / MaxIOReads) ran out
+	// before the search could finish: the results are the best effort
+	// assembled so far, with per-result Certified flags separating proven
+	// answers from provisional ones.
+	Degraded bool
 }
 
 // ErrBadQuery reports an unusable query trajectory or period.
 var ErrBadQuery = errors.New("mst: query trajectory must cover the query period")
+
+// ErrCanceled reports a search abandoned because its context was canceled
+// or its deadline expired (it also wraps the context's own error).
+var ErrCanceled = index.ErrCanceled
 
 // queueItem is a tree node awaiting processing, keyed by MINDIST.
 type queueItem struct {
@@ -132,6 +162,7 @@ type candidate struct {
 
 // searcher carries one query's mutable state.
 type searcher struct {
+	ctx   context.Context
 	tree  index.Tree
 	q     *trajectory.Trajectory
 	t1    float64
@@ -145,6 +176,11 @@ type searcher struct {
 	tau      float64 // cached k-th smallest hi over candidates
 	tauDirty bool
 
+	// degradeDist is the MINDIST of the next unprocessed node at the moment
+	// a budget ran out: no unexplored trajectory can have DISSIM below
+	// degradeDist · (t2 − t1), the certification floor of degraded results.
+	degradeDist float64
+
 	segTraj trajectory.Trajectory // reusable 2-sample wrapper
 }
 
@@ -152,11 +188,20 @@ type searcher struct {
 // [t1, t2], returning the k most similar trajectories (most similar first)
 // and the search statistics.
 func Search(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Options) ([]Result, Stats, error) {
+	return SearchContext(context.Background(), tree, q, t1, t2, opts)
+}
+
+// SearchContext is Search under a context: cancellation is checked between
+// node pops, so a canceled or expired query returns promptly with an error
+// wrapping ErrCanceled (and the context's own error) instead of running to
+// completion.
+func SearchContext(ctx context.Context, tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Options) ([]Result, Stats, error) {
 	opts.normalize()
 	if q == nil || !(t1 < t2) || !q.Covers(t1, t2) {
 		return nil, Stats{}, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
 	}
 	s := &searcher{
+		ctx:      ctx,
 		tree:     tree,
 		q:        q,
 		t1:       t1,
@@ -182,11 +227,22 @@ func Search(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Opti
 }
 
 func (s *searcher) run() error {
+	// A context dead on arrival aborts before the first page is touched.
+	if err := index.Canceled(s.ctx); err != nil {
+		return err
+	}
 	root := s.tree.Root()
 	if root == storage.NilPage {
 		return nil
 	}
-	rootMBB := s.tree.RootMBB()
+	// Read the root node directly rather than through RootMBB, which
+	// swallows read errors into an empty bound — a corrupt or faulted root
+	// page must surface as a typed error, never as an empty result set.
+	rootNode, err := s.tree.ReadNode(root)
+	if err != nil {
+		return err
+	}
+	rootMBB := rootNode.MBB()
 	if !rootMBB.OverlapsTime(s.t1, s.t2) {
 		return nil
 	}
@@ -198,6 +254,18 @@ func (s *searcher) run() error {
 	s.stats.Enqueued++
 
 	for s.queue.Len() > 0 {
+		// Cancellation and budget checks sit between node pops: the search
+		// never starts a node read it is not entitled to, so NodesAccessed
+		// can never exceed MaxNodeAccesses.
+		if err := index.Canceled(s.ctx); err != nil {
+			return err
+		}
+		if s.budgetExhausted() {
+			s.stats.Degraded = true
+			s.degradeDist = s.queue[0].dist
+			return nil
+		}
+
 		it := heap.Pop(&s.queue).(queueItem)
 
 		// Heuristic 2: MINDISSIMINC test. Because nodes pop in MINDIST
@@ -236,6 +304,20 @@ func (s *searcher) run() error {
 		}
 	}
 	return nil
+}
+
+// budgetExhausted reports whether a per-query resource budget has run
+// out. Both budgets degrade the search instead of failing it: partial
+// answers with an honest Degraded flag beat an error on a query that
+// already did most of its work.
+func (s *searcher) budgetExhausted() bool {
+	if s.opts.MaxNodeAccesses > 0 && s.stats.NodesAccessed >= s.opts.MaxNodeAccesses {
+		return true
+	}
+	if s.opts.MaxIOReads > 0 && s.opts.IOReads != nil && s.opts.IOReads() >= s.opts.MaxIOReads {
+		return true
+	}
+	return false
 }
 
 // processLeaf sweeps the leaf's entries (paper lines 9-30). Entries are
@@ -439,9 +521,41 @@ func (s *searcher) finalize() []Result {
 	}
 	out := make([]Result, len(done))
 	for i, c := range done {
-		out[i] = Result{TrajID: c.id, Dissim: s.midpoint(c), Err: c.err()}
+		out[i] = Result{TrajID: c.id, Dissim: s.midpoint(c), Err: c.err(), Certified: true}
+	}
+	// A completed search proves every returned result (the algorithm's
+	// exactness guarantee). A budget-degraded search certifies only the
+	// results no unexplored or partially-explored trajectory can displace.
+	if s.stats.Degraded {
+		floor := s.certificationFloor(done)
+		for i, c := range done {
+			out[i].Certified = c.hi <= floor
+		}
 	}
 	return out
+}
+
+// certificationFloor returns a lower bound on the DISSIM of every
+// trajectory NOT among the returned results of a degraded search: nodes
+// still queued pop in MINDIST order, so anything unexplored has DISSIM ≥
+// degradeDist · period (speed-independent bound); partially assembled and
+// rejected candidates are bounded by their certified lo. A returned result
+// whose upper bound lies below this floor is provably in the true top-k.
+func (s *searcher) certificationFloor(returned []*candidate) float64 {
+	floor := s.degradeDist * (s.t2 - s.t1)
+	ret := make(map[trajectory.ID]bool, len(returned))
+	for _, c := range returned {
+		ret[c.id] = true
+	}
+	for _, c := range s.cands {
+		if ret[c.id] || c.partial == nil { // partial == nil: ExcludeIDs placeholder
+			continue
+		}
+		if c.lo < floor {
+			floor = c.lo
+		}
+	}
+	return floor
 }
 
 // midpoint is the candidate's point estimate: center of its certified

@@ -1,12 +1,23 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"errors"
+	"hash/crc32"
+	"time"
+)
 
-// BufferPool is an LRU write-back page cache layered over a File. It
-// implements Pager, so index structures can be built against either the
-// raw file or the buffered view without code changes.
+// BufferPool is an LRU write-back page cache layered over any Pager. It
+// implements Pager itself, so index structures can be built against either
+// the raw file or the buffered view without code changes.
+//
+// The pool is the hardening point of the read path: a miss that comes back
+// with a transient fault (ErrTransient) or a checksum mismatch — possibly
+// a bit flip between the pool and the page's owner — is retried a bounded
+// number of times with a short backoff before the error is surfaced.
+// Permanent faults and out-of-range reads are never retried.
 type BufferPool struct {
-	file     *File
+	inner    Pager
 	capacity int
 	stats    Stats
 
@@ -20,35 +31,44 @@ type frame struct {
 	dirty bool
 }
 
+// maxReadRetries bounds how many times a miss is re-read after a
+// retryable fault; retryBackoff is the base delay, doubled per attempt
+// (50µs, 100µs, 200µs — long enough to step over a transient glitch,
+// short enough to keep fault-injection tests fast).
+const (
+	maxReadRetries = 3
+	retryBackoff   = 50 * time.Microsecond
+)
+
 // NewBufferPool creates a pool holding at most capacity pages (minimum 1).
-func NewBufferPool(file *File, capacity int) *BufferPool {
+func NewBufferPool(inner Pager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &BufferPool{
-		file:     file,
+		inner:    inner,
 		capacity: capacity,
 		lru:      list.New(),
 		frames:   make(map[PageID]*list.Element, capacity),
 	}
 }
 
-// NewPaperBuffer applies the paper's buffering policy to an existing file:
-// capacity = 10 % of the file's current page count, capped at 1000 pages
+// NewPaperBuffer applies the paper's buffering policy to an existing
+// pager: capacity = 10 % of its current page count, capped at 1000 pages
 // (and at least one page).
-func NewPaperBuffer(file *File) *BufferPool {
-	c := file.NumPages() / 10
+func NewPaperBuffer(inner Pager) *BufferPool {
+	c := inner.NumPages() / 10
 	if c > 1000 {
 		c = 1000
 	}
-	return NewBufferPool(file, c)
+	return NewBufferPool(inner, c)
 }
 
 // PageSize implements Pager.
-func (b *BufferPool) PageSize() int { return b.file.PageSize() }
+func (b *BufferPool) PageSize() int { return b.inner.PageSize() }
 
 // NumPages implements Pager.
-func (b *BufferPool) NumPages() int { return b.file.NumPages() }
+func (b *BufferPool) NumPages() int { return b.inner.NumPages() }
 
 // Capacity returns the pool's page capacity.
 func (b *BufferPool) Capacity() int { return b.capacity }
@@ -56,14 +76,47 @@ func (b *BufferPool) Capacity() int { return b.capacity }
 // Alloc implements Pager. Newly allocated pages enter the cache dirty so
 // short-lived pages may never touch the file.
 func (b *BufferPool) Alloc() (PageID, error) {
-	id, err := b.file.Alloc()
+	id, err := b.inner.Alloc()
 	if err != nil {
 		return NilPage, err
 	}
-	if err := b.insert(id, make([]byte, b.file.PageSize()), true); err != nil {
+	if err := b.insert(id, make([]byte, b.inner.PageSize()), true); err != nil {
 		return NilPage, err
 	}
 	return id, nil
+}
+
+// retryable reports whether a read error may resolve on re-read: injected
+// transient faults, and checksum mismatches (an in-transit bit flip reads
+// clean the second time; truly rotten pages keep failing and the error
+// stands after the retry budget).
+func retryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrPageCorrupt{})
+}
+
+// readInner pulls a page from the wrapped pager with verification and
+// bounded retry. When the inner chain exposes an authoritative checksum
+// (Checksummer), the payload is verified against it, catching corruption
+// introduced between the pool and the page's owner.
+func (b *BufferPool) readInner(id PageID) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		src, err := b.inner.Read(id)
+		if err == nil {
+			if ck, ok := b.inner.(Checksummer); ok {
+				if want, known := ck.PageChecksum(id); known && crc32.ChecksumIEEE(src) != want {
+					err = ErrPageCorrupt{Page: id}
+				}
+			}
+			if err == nil {
+				return src, nil
+			}
+		}
+		if attempt >= maxReadRetries || !retryable(err) {
+			return nil, err
+		}
+		b.stats.Retries++
+		time.Sleep(retryBackoff << attempt)
+	}
 }
 
 // Read implements Pager. The returned slice aliases the cached frame and
@@ -75,7 +128,7 @@ func (b *BufferPool) Read(id PageID) ([]byte, error) {
 		return el.Value.(*frame).data, nil
 	}
 	b.stats.Misses++
-	src, err := b.file.Read(id)
+	src, err := b.readInner(id)
 	if err != nil {
 		return nil, err
 	}
@@ -89,10 +142,10 @@ func (b *BufferPool) Read(id PageID) ([]byte, error) {
 
 // Write implements Pager: the page is updated in cache and flushed lazily.
 func (b *BufferPool) Write(id PageID, data []byte) error {
-	if len(data) != b.file.PageSize() {
+	if len(data) != b.inner.PageSize() {
 		return ErrBadPageSize
 	}
-	if int(id) >= b.file.NumPages() {
+	if int(id) >= b.inner.NumPages() {
 		return ErrPageOutOfRange
 	}
 	if el, ok := b.frames[id]; ok {
@@ -123,7 +176,7 @@ func (b *BufferPool) evictIfFull() error {
 		el := b.lru.Back()
 		fr := el.Value.(*frame)
 		if fr.dirty {
-			if err := b.file.Write(fr.id, fr.data); err != nil {
+			if err := b.inner.Write(fr.id, fr.data); err != nil {
 				return err
 			}
 		}
@@ -138,7 +191,7 @@ func (b *BufferPool) Flush() error {
 	for el := b.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
-			if err := b.file.Write(fr.id, fr.data); err != nil {
+			if err := b.inner.Write(fr.id, fr.data); err != nil {
 				return err
 			}
 			fr.dirty = false
@@ -147,18 +200,26 @@ func (b *BufferPool) Flush() error {
 	return nil
 }
 
-// Stats returns the pool's hit/miss counters combined with the underlying
-// file's physical counters.
+// statsProvider is any pager exposing I/O counters.
+type statsProvider interface{ Stats() Stats }
+
+// Stats returns the pool's hit/miss/retry counters combined with the
+// wrapped pager's physical counters (when it exposes them).
 func (b *BufferPool) Stats() Stats {
 	s := b.stats
-	fs := b.file.Stats()
-	s.Reads = fs.Reads
-	s.Writes = fs.Writes
+	if sp, ok := b.inner.(statsProvider); ok {
+		fs := sp.Stats()
+		s.Reads = fs.Reads
+		s.Writes = fs.Writes
+	}
 	return s
 }
 
-// ResetStats zeroes both the pool's and the file's counters.
+// ResetStats zeroes the pool's counters, and the wrapped pager's when it
+// supports resetting.
 func (b *BufferPool) ResetStats() {
 	b.stats.Reset()
-	b.file.ResetStats()
+	if rs, ok := b.inner.(interface{ ResetStats() }); ok {
+		rs.ResetStats()
+	}
 }

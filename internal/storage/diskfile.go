@@ -4,32 +4,40 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync/atomic"
 )
 
 // DiskFile is an os.File-backed Pager with the same semantics as the
-// in-memory File: fixed-size pages addressed by PageID. Page 0 of the
-// physical file is a header slot; data page i lives at offset
-// (i+1)·pageSize. The header records the page size and the allocated page
-// count, so a DiskFile can be reopened.
+// in-memory File: fixed-size pages addressed by PageID. The first pageSize
+// bytes of the physical file are a header slot; data page i lives at
+// offset pageSize + i·(pageSize+4) — each on-disk slot is the page payload
+// followed by its CRC32 (IEEE, little endian). The header records the page
+// size and the allocated page count, so a DiskFile can be reopened.
+//
+// The per-slot CRC is written together with the payload in one contiguous
+// write and verified on every Read: a torn write (payload and checksum out
+// of sync) or on-disk bit rot surfaces as ErrPageCorrupt carrying the
+// damaged page's id, never as a silently wrong payload.
 //
 // Like File, concurrent Reads are safe; Alloc/Write must not race with
-// readers. A BufferPool cannot wrap a DiskFile directly (it caches for a
-// *File*), but index structures run on any Pager, DiskFile included.
+// readers. Index structures run on any Pager, DiskFile included.
 type DiskFile struct {
 	f        *os.File
 	pageSize int
 	numPages int
-	buf      []byte // read buffer, reused across Read calls
+	buf      []byte // read buffer (payload + crc), reused across Read calls
+	wbuf     []byte // write buffer (payload + crc)
 	reads    atomic.Uint64
 	writes   atomic.Uint64
 }
 
 const (
-	diskMagic      = "MSTPAGE1"
+	diskMagic      = "MSTPAGE2"
 	diskHeaderSize = len(diskMagic) + 8 // magic + u32 pageSize + u32 numPages
+	diskCRCSize    = 4                  // per-slot trailing CRC32
 )
 
 // ErrBadDiskFile reports an unrecognizable page file.
@@ -47,7 +55,12 @@ func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DiskFile{f: f, pageSize: pageSize, buf: make([]byte, pageSize)}
+	d := &DiskFile{
+		f:        f,
+		pageSize: pageSize,
+		buf:      make([]byte, pageSize+diskCRCSize),
+		wbuf:     make([]byte, pageSize+diskCRCSize),
+	}
 	if err := d.writeHeader(); err != nil {
 		f.Close()
 		return nil, err
@@ -76,7 +89,13 @@ func OpenDiskFile(path string) (*DiskFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: header pageSize=%d numPages=%d", ErrBadDiskFile, ps, np)
 	}
-	return &DiskFile{f: f, pageSize: ps, numPages: np, buf: make([]byte, ps)}, nil
+	return &DiskFile{
+		f:        f,
+		pageSize: ps,
+		numPages: np,
+		buf:      make([]byte, ps+diskCRCSize),
+		wbuf:     make([]byte, ps+diskCRCSize),
+	}, nil
 }
 
 func (d *DiskFile) writeHeader() error {
@@ -94,17 +113,19 @@ func (d *DiskFile) PageSize() int { return d.pageSize }
 // NumPages implements Pager.
 func (d *DiskFile) NumPages() int { return d.numPages }
 
-// SizeBytes returns the data size (excluding the header slot).
+// SizeBytes returns the data size (excluding the header slot and the
+// per-slot checksums).
 func (d *DiskFile) SizeBytes() int64 { return int64(d.numPages) * int64(d.pageSize) }
 
 func (d *DiskFile) offset(id PageID) int64 {
-	return int64(id+1) * int64(d.pageSize)
+	return int64(d.pageSize) + int64(id)*int64(d.pageSize+diskCRCSize)
 }
 
 // Alloc implements Pager: extends the file by one zeroed page.
 func (d *DiskFile) Alloc() (PageID, error) {
 	id := PageID(d.numPages)
-	zero := make([]byte, d.pageSize)
+	zero := make([]byte, d.pageSize+diskCRCSize)
+	binary.LittleEndian.PutUint32(zero[d.pageSize:], crc32.ChecksumIEEE(zero[:d.pageSize]))
 	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
 		return NilPage, err
 	}
@@ -112,7 +133,8 @@ func (d *DiskFile) Alloc() (PageID, error) {
 	return id, d.writeHeader()
 }
 
-// Read implements Pager. The returned slice is valid until the next Read.
+// Read implements Pager, verifying the slot checksum. The returned slice
+// is valid until the next Read.
 func (d *DiskFile) Read(id PageID) ([]byte, error) {
 	if int(id) >= d.numPages {
 		return nil, fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, d.numPages)
@@ -121,10 +143,15 @@ func (d *DiskFile) Read(id PageID) ([]byte, error) {
 	if _, err := d.f.ReadAt(d.buf, d.offset(id)); err != nil {
 		return nil, err
 	}
-	return d.buf, nil
+	want := binary.LittleEndian.Uint32(d.buf[d.pageSize:])
+	if crc32.ChecksumIEEE(d.buf[:d.pageSize]) != want {
+		return nil, ErrPageCorrupt{Page: id}
+	}
+	return d.buf[:d.pageSize], nil
 }
 
-// Write implements Pager.
+// Write implements Pager, storing the payload and its checksum in one
+// contiguous write.
 func (d *DiskFile) Write(id PageID, data []byte) error {
 	if int(id) >= d.numPages {
 		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, d.numPages)
@@ -133,7 +160,9 @@ func (d *DiskFile) Write(id PageID, data []byte) error {
 		return fmt.Errorf("%w: %d vs %d", ErrBadPageSize, len(data), d.pageSize)
 	}
 	d.writes.Add(1)
-	_, err := d.f.WriteAt(data, d.offset(id))
+	copy(d.wbuf, data)
+	binary.LittleEndian.PutUint32(d.wbuf[d.pageSize:], crc32.ChecksumIEEE(data))
+	_, err := d.f.WriteAt(d.wbuf, d.offset(id))
 	return err
 }
 

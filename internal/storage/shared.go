@@ -12,15 +12,16 @@ type SharedPool struct {
 	pool *BufferPool
 }
 
-// NewSharedPool wraps a fresh BufferPool of the given capacity over file.
-func NewSharedPool(file *File, capacity int) *SharedPool {
-	return &SharedPool{pool: NewBufferPool(file, capacity)}
+// NewSharedPool wraps a fresh BufferPool of the given capacity over any
+// pager.
+func NewSharedPool(inner Pager, capacity int) *SharedPool {
+	return &SharedPool{pool: NewBufferPool(inner, capacity)}
 }
 
 // NewSharedPaperPool applies the paper's buffer policy (10 %, ≤1000
 // pages).
-func NewSharedPaperPool(file *File) *SharedPool {
-	return &SharedPool{pool: NewPaperBuffer(file)}
+func NewSharedPaperPool(inner Pager) *SharedPool {
+	return &SharedPool{pool: NewPaperBuffer(inner)}
 }
 
 // PageSize implements Pager.

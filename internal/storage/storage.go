@@ -1,17 +1,29 @@
 // Package storage provides the paged storage substrate underneath the
 // R-tree-like indexes: a page file addressed by page id, and an LRU buffer
-// pool with write-back caching and I/O accounting.
+// pool with write-back caching, I/O accounting, bounded retry for
+// transient faults, and checksum verification of page payloads.
 //
 // The paper's experimental setup (§5) uses a 4 KB page size and a buffer
 // sized at 10 % of the index with a 1000-page cap; NewPaperBuffer encodes
 // that policy. The page file here is memory-backed — the experiments care
 // about page access counts and buffer behaviour, not physical disks — but
 // the interface is what a disk-backed implementation would expose.
+//
+// # Integrity model
+//
+// Every pager that owns page payloads (File, DiskFile) maintains a CRC32
+// per page, updated on Write and verified on Read. A failed verification
+// surfaces as ErrPageCorrupt carrying the damaged page's id — never as a
+// silently wrong payload. The BufferPool additionally re-verifies data it
+// pulls through intermediate wrappers (see Checksummer), so corruption
+// injected *between* the pool and the backing file — a bit flip in transit
+// — is also caught.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync/atomic"
 )
 
@@ -29,6 +41,36 @@ var (
 	ErrPageOutOfRange = errors.New("storage: page id out of range")
 	ErrBadPageSize    = errors.New("storage: payload size != page size")
 )
+
+// ErrPageCorrupt reports a page whose payload failed checksum
+// verification: a torn write, a bit flip, or any other corruption of the
+// stored bytes. errors.Is(err, ErrPageCorrupt{}) matches regardless of the
+// page id; errors.As recovers the damaged page.
+type ErrPageCorrupt struct {
+	Page PageID
+}
+
+// Error implements error.
+func (e ErrPageCorrupt) Error() string {
+	return fmt.Sprintf("storage: page %d corrupt (checksum mismatch)", e.Page)
+}
+
+// Is matches any ErrPageCorrupt, so errors.Is(err, ErrPageCorrupt{}) tests
+// for the corruption class without knowing the page.
+func (e ErrPageCorrupt) Is(target error) bool {
+	_, ok := target.(ErrPageCorrupt)
+	return ok
+}
+
+// Checksummer is implemented by pagers that maintain an authoritative
+// per-page checksum. The BufferPool uses it to verify data read through
+// intermediate wrappers (fault injectors, instrumentation) against the
+// owner's checksum, catching in-transit corruption.
+type Checksummer interface {
+	// PageChecksum returns the CRC32 (IEEE) of the page's current payload
+	// and true, or false when no checksum is known for the page.
+	PageChecksum(id PageID) (uint32, bool)
+}
 
 // Pager is the abstraction trees are written against: fixed-size pages,
 // allocation, and whole-page read/write.
@@ -49,10 +91,11 @@ type Pager interface {
 // Stats counts page-level I/O. For a File they are physical accesses; a
 // BufferPool layers hit/miss accounting on top and forwards misses.
 type Stats struct {
-	Reads  uint64 // physical page reads
-	Writes uint64 // physical page writes
-	Hits   uint64 // buffer hits (BufferPool only)
-	Misses uint64 // buffer misses (BufferPool only)
+	Reads   uint64 // physical page reads
+	Writes  uint64 // physical page writes
+	Hits    uint64 // buffer hits (BufferPool only)
+	Misses  uint64 // buffer misses (BufferPool only)
+	Retries uint64 // read retries after transient faults (BufferPool only)
 }
 
 // Reset zeroes the counters.
@@ -62,9 +105,14 @@ func (s *Stats) Reset() { *s = Stats{} }
 // concurrently (e.g. parallel queries through separate buffer pools); the
 // I/O counters are atomic so accounting stays race-free. Alloc/Write must
 // not race with readers.
+//
+// Each page carries a CRC32 maintained on Write and verified on Read, so
+// in-place memory corruption (or a test's deliberate CorruptPage) surfaces
+// as ErrPageCorrupt instead of a silently wrong payload.
 type File struct {
 	pageSize int
 	pages    [][]byte
+	crcs     []uint32
 	reads    atomic.Uint64
 	writes   atomic.Uint64
 }
@@ -92,16 +140,22 @@ func (f *File) Alloc() (PageID, error) {
 	if len(f.pages) >= int(NilPage) {
 		return NilPage, errors.New("storage: page file full")
 	}
-	f.pages = append(f.pages, make([]byte, f.pageSize))
+	page := make([]byte, f.pageSize)
+	f.pages = append(f.pages, page)
+	f.crcs = append(f.crcs, crc32.ChecksumIEEE(page))
 	return PageID(len(f.pages) - 1), nil
 }
 
-// Read implements Pager.
+// Read implements Pager, verifying the page's checksum before returning
+// it.
 func (f *File) Read(id PageID) ([]byte, error) {
 	if int(id) >= len(f.pages) {
 		return nil, fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, len(f.pages))
 	}
 	f.reads.Add(1)
+	if crc32.ChecksumIEEE(f.pages[id]) != f.crcs[id] {
+		return nil, ErrPageCorrupt{Page: id}
+	}
 	return f.pages[id], nil
 }
 
@@ -115,6 +169,26 @@ func (f *File) Write(id PageID, data []byte) error {
 	}
 	f.writes.Add(1)
 	copy(f.pages[id], data)
+	f.crcs[id] = crc32.ChecksumIEEE(f.pages[id])
+	return nil
+}
+
+// PageChecksum implements Checksummer.
+func (f *File) PageChecksum(id PageID) (uint32, bool) {
+	if int(id) >= len(f.crcs) {
+		return 0, false
+	}
+	return f.crcs[id], true
+}
+
+// CorruptPage flips one byte of the page's stored payload without updating
+// its checksum — simulated bit rot for fault-injection tests. The next
+// Read of the page returns ErrPageCorrupt.
+func (f *File) CorruptPage(id PageID, offset int) error {
+	if int(id) >= len(f.pages) {
+		return fmt.Errorf("%w: corrupt %d of %d", ErrPageOutOfRange, id, len(f.pages))
+	}
+	f.pages[id][offset%f.pageSize] ^= 0xFF
 	return nil
 }
 

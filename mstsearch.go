@@ -19,6 +19,7 @@
 package mstsearch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -86,6 +87,12 @@ type Result struct {
 	// (0 when the exact post-refinement ran).
 	Dissim float64
 	Err    float64
+	// Certified reports whether the result is provably a member of the
+	// true top-k. Complete searches certify every result; a
+	// budget-degraded search (Stats.Degraded) certifies only the results
+	// no unexplored trajectory can displace — the rest are provisional
+	// best-effort answers.
+	Certified bool
 }
 
 // SearchStats reports the work one query performed.
@@ -95,7 +102,13 @@ type SearchStats struct {
 	PruningPower    float64 // fraction of tree nodes never touched
 	PageReads       uint64  // physical page reads (buffer misses)
 	BufferHits      uint64
+	Retries         uint64 // page reads retried after transient faults
 	TerminatedEarly bool
+	// Degraded reports that a budget (MaxNodeAccesses / MaxIOReads) ran
+	// out mid-search: the results are the best effort assembled within the
+	// budget, with per-result Certified flags separating proven answers
+	// from provisional ones.
+	Degraded bool
 }
 
 // Options tunes a search beyond the defaults; the zero value is sensible.
@@ -113,12 +126,25 @@ type Options struct {
 	// ExcludeIDs are trajectories never reported — typically the query's
 	// own stored twin in "more like this one" searches.
 	ExcludeIDs []ID
+	// MaxNodeAccesses bounds how many index nodes the query may read
+	// (0 = unlimited). On exhaustion the query degrades instead of
+	// failing: it returns the best-effort top-k found so far with
+	// SearchStats.Degraded set and never exceeds the budget.
+	MaxNodeAccesses int
+	// MaxIOReads bounds the physical page reads (buffer misses) the query
+	// may cause (0 = unlimited); exhaustion degrades like MaxNodeAccesses.
+	MaxIOReads uint64
 }
 
 // DB is a trajectory database: an in-memory trajectory store plus a paged
 // spatiotemporal index (4 KB pages) queried through an LRU buffer pool
 // sized by the paper's policy (10 % of the index, ≤1000 pages).
+//
+// A DB is safe for concurrent use: queries may run in parallel with each
+// other and are serialized against mutations (Add, AppendSample, Recover)
+// by an internal reader/writer lock.
 type DB struct {
+	mu    sync.RWMutex // queries take read side; mutations take write side
 	kind  IndexKind
 	file  *storage.File
 	rt    *rtree.Tree
@@ -130,9 +156,47 @@ type DB struct {
 
 	warm *storage.SharedPool // optional warm buffer shared across queries
 
+	// pagerWrap, when set, wraps the pager underneath each per-query
+	// buffer pool — the fault-injection / instrumentation seam.
+	pagerWrap func(Pager) Pager
+
 	dsMu sync.Mutex
 	ds   *trajectory.Dataset    // cached view over trajs; nil after Add
 	hist *selectivity.Histogram // cached selectivity histogram; nil after Add
+}
+
+// Pager is the page-access abstraction of the storage layer, re-exported
+// so callers can interpose middleware (fault injection, metrics) via
+// SetPagerWrapper.
+type Pager = storage.Pager
+
+// Typed errors of the query path, re-exported from the internal layers so
+// callers can build a complete failure taxonomy with errors.Is/As:
+//
+//   - ErrCanceled — the query's context was canceled or expired (the
+//     error also wraps context.Canceled / context.DeadlineExceeded);
+//   - ErrPageCorrupt — an index page failed checksum verification (torn
+//     write or bit rot); errors.As recovers the damaged page id, and
+//     DB.Recover rebuilds the index from the trajectory store;
+//   - ErrInjected — a deliberately injected fault reached the caller
+//     (fault-injection testing only).
+var (
+	ErrCanceled = mst.ErrCanceled
+	ErrInjected = storage.ErrInjected
+)
+
+// ErrPageCorrupt is the typed page-corruption error; its Page field is the
+// damaged page's id.
+type ErrPageCorrupt = storage.ErrPageCorrupt
+
+// SetPagerWrapper installs a wrapper applied to the pager underneath every
+// subsequently built per-query buffer pool (nil removes it). It is the
+// seam for fault injection and I/O instrumentation; the warm shared buffer
+// (EnableWarmBuffer) bypasses it.
+func (db *DB) SetPagerWrapper(wrap func(Pager) Pager) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pagerWrap = wrap
 }
 
 // statsPager is the query-side pager view: page access plus counters.
@@ -174,6 +238,8 @@ func (db *DB) Add(tr Trajectory) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("mstsearch: %w", err)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.byID[tr.ID]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, tr.ID)
 	}
@@ -220,6 +286,8 @@ func (db *DB) invalidate() {
 // queries. The sample's timestamp must be strictly after the trajectory's
 // current end.
 func (db *DB) AppendSample(id ID, s Sample) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	i, ok := db.byID[id]
 	if !ok {
 		return fmt.Errorf("mstsearch: unknown trajectory %d", id)
@@ -255,9 +323,62 @@ func (db *DB) AppendSample(id ID, s Sample) error {
 	return nil
 }
 
+// Recover rebuilds the paged index from scratch out of the in-memory
+// trajectory store — the repair path after a query surfaces
+// ErrPageCorrupt. The damaged page file is discarded and replaced by a
+// freshly built one; the trajectory store is the source of truth, so no
+// data is lost. Recover also makes a snapshot-loaded TB-tree or STR-tree
+// writable again (Load opens them read-only).
+//
+// Recover takes the write lock: in-flight queries finish against the old
+// file first, and queries started after Recover returns see the rebuilt
+// index.
+func (db *DB) Recover() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	file := storage.NewFile(db.file.PageSize())
+	var (
+		rt *rtree.Tree
+		tb *tbtree.Tree
+		st *strtree.Tree
+	)
+	switch db.kind {
+	case TBTree:
+		tb = tbtree.New(file)
+	case STRTree:
+		st = strtree.New(file)
+	default:
+		rt = rtree.New(file)
+	}
+	for i := range db.trajs {
+		tr := &db.trajs[i]
+		var err error
+		switch db.kind {
+		case TBTree:
+			err = tb.InsertTrajectory(tr)
+		case STRTree:
+			err = st.InsertTrajectory(tr)
+		default:
+			for s := 0; s < tr.NumSegments(); s++ {
+				e := index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}
+				if err = rt.Insert(e); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("mstsearch: recover: %w", err)
+		}
+	}
+	db.file = file
+	db.rt, db.tb, db.st = rt, tb, st
+	db.invalidate()
+	return nil
+}
+
 // dataset returns the cached dataset view, rebuilding after inserts.
-// Queries may run concurrently with each other (each builds its own buffer
-// pool); Add must not race with queries.
+// Callers must hold db.mu (either side); queries may share the cache
+// concurrently thanks to dsMu.
 func (db *DB) dataset() (*trajectory.Dataset, error) {
 	db.dsMu.Lock()
 	defer db.dsMu.Unlock()
@@ -271,8 +392,23 @@ func (db *DB) dataset() (*trajectory.Dataset, error) {
 	return db.ds, nil
 }
 
-// Get returns a stored trajectory, or nil.
+// Get returns a snapshot of a stored trajectory, or nil. The returned
+// copy is private to the caller, so it stays valid under concurrent
+// AppendSample/Add.
 func (db *DB) Get(id ID) *Trajectory {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tr := db.get(id)
+	if tr == nil {
+		return nil
+	}
+	cl := tr.Clone()
+	return &cl
+}
+
+// get returns the stored trajectory without locking or copying; callers
+// must hold db.mu and not retain the pointer past the lock.
+func (db *DB) get(id ID) *Trajectory {
 	i, ok := db.byID[id]
 	if !ok {
 		return nil
@@ -281,10 +417,20 @@ func (db *DB) Get(id ID) *Trajectory {
 }
 
 // Len returns the number of stored trajectories.
-func (db *DB) Len() int { return len(db.trajs) }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.trajs)
+}
 
 // NumSegments returns the total indexed segment count.
 func (db *DB) NumSegments() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.numSegments()
+}
+
+func (db *DB) numSegments() int {
 	n := 0
 	for i := range db.trajs {
 		n += db.trajs[i].NumSegments()
@@ -294,6 +440,8 @@ func (db *DB) NumSegments() int {
 
 // IndexSizeMB returns the index size in megabytes.
 func (db *DB) IndexSizeMB() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return float64(db.file.SizeBytes()) / (1024 * 1024)
 }
 
@@ -305,17 +453,24 @@ func (db *DB) IndexSizeMB() float64 {
 // loading the data; mutations (Add/AppendSample) automatically replace
 // the pool so cached frames never go stale.
 func (db *DB) EnableWarmBuffer() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.warm = storage.NewSharedPaperPool(db.file)
 }
 
 // view builds a buffered read view of the index: the shared warm pool when
-// enabled, otherwise a fresh per-query pool.
+// enabled, otherwise a fresh per-query pool (wrapped by the fault-
+// injection seam when installed). Callers must hold db.mu.
 func (db *DB) view() (index.Tree, statsPager) {
 	var bp statsPager
 	if db.warm != nil {
 		bp = db.warm
 	} else {
-		bp = storage.NewPaperBuffer(db.file)
+		base := storage.Pager(db.file)
+		if db.pagerWrap != nil {
+			base = db.pagerWrap(base)
+		}
+		bp = storage.NewPaperBuffer(base)
 	}
 	switch db.kind {
 	case TBTree:
@@ -335,8 +490,26 @@ func (db *DB) KMostSimilar(q *Trajectory, t1, t2 float64, k int) ([]Result, Sear
 	return db.KMostSimilarOpts(q, t1, t2, k, Options{ExactRefine: true, Refine: 1})
 }
 
+// KMostSimilarContext is KMostSimilar under a context: a canceled or
+// expired context aborts the search between node visits with an error
+// wrapping ErrCanceled.
+func (db *DB) KMostSimilarContext(ctx context.Context, q *Trajectory, t1, t2 float64, k int) ([]Result, SearchStats, error) {
+	return db.KMostSimilarOptsContext(ctx, q, t1, t2, k, Options{ExactRefine: true, Refine: 1})
+}
+
 // KMostSimilarOpts is KMostSimilar with explicit Options.
 func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
+	return db.KMostSimilarOptsContext(context.Background(), q, t1, t2, k, o)
+}
+
+// KMostSimilarOptsContext is the fully explicit k-MST entry point:
+// context-aware and Options-tuned. Cancellation yields an error wrapping
+// ErrCanceled; an exhausted budget (Options.MaxNodeAccesses /
+// Options.MaxIOReads) yields best-effort results with
+// SearchStats.Degraded set instead of an error.
+func (db *DB) KMostSimilarOptsContext(ctx context.Context, q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	tree, bp := db.view()
 	before := bp.Stats() // per-query I/O = counter delta (fresh pools start at zero)
 	opts := mst.Options{
@@ -346,6 +519,11 @@ func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) 
 		DisableHeuristic1: o.DisableHeuristic1,
 		DisableHeuristic2: o.DisableHeuristic2,
 		ExcludeIDs:        o.ExcludeIDs,
+		MaxNodeAccesses:   o.MaxNodeAccesses,
+		MaxIOReads:        o.MaxIOReads,
+	}
+	if o.MaxIOReads > 0 {
+		opts.IOReads = func() uint64 { return bp.Stats().Misses - before.Misses }
 	}
 	if o.ExactRefine {
 		ds, err := db.dataset()
@@ -354,13 +532,13 @@ func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) 
 		}
 		opts.Data = ds
 	}
-	res, st, err := mst.Search(tree, q, t1, t2, opts)
+	res, st, err := mst.SearchContext(ctx, tree, q, t1, t2, opts)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	out := make([]Result, len(res))
 	for i, r := range res {
-		out[i] = Result{TrajID: r.TrajID, Dissim: r.Dissim, Err: r.Err}
+		out[i] = Result{TrajID: r.TrajID, Dissim: r.Dissim, Err: r.Err, Certified: r.Certified}
 	}
 	bs := bp.Stats()
 	return out, SearchStats{
@@ -369,7 +547,9 @@ func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) 
 		PruningPower:    st.PruningPower,
 		PageReads:       bs.Misses - before.Misses, // each miss is one physical read
 		BufferHits:      bs.Hits - before.Hits,
+		Retries:         bs.Retries - before.Retries,
 		TerminatedEarly: st.TerminatedEarly,
+		Degraded:        st.Degraded,
 	}, nil
 }
 
@@ -404,6 +584,8 @@ func (db *DB) KMostSimilarAuto(q *Trajectory, t1, t2 float64, k int) ([]Result, 
 		res, _, err := db.KMostSimilar(q, t1, t2, k)
 		return res, true, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ds, err := db.dataset()
 	if err != nil {
 		return nil, false, err
@@ -464,9 +646,17 @@ type SegmentHit struct {
 // [minX, maxX] × [minY, maxY] during [t1, t2] — the classical
 // spatiotemporal range query, served by the same index as KMostSimilar.
 func (db *DB) RangeQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]SegmentHit, error) {
+	return db.RangeQueryContext(context.Background(), minX, minY, maxX, maxY, t1, t2)
+}
+
+// RangeQueryContext is RangeQuery under a context: cancellation is checked
+// before every node read and surfaces as an error wrapping ErrCanceled.
+func (db *DB) RangeQueryContext(ctx context.Context, minX, minY, maxX, maxY, t1, t2 float64) ([]SegmentHit, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	tree, _ := db.view()
 	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
-	entries, err := index.RangeSearch(tree, box)
+	entries, err := index.RangeSearchContext(ctx, tree, box)
 	if err != nil {
 		return nil, err
 	}
@@ -491,8 +681,16 @@ type Neighbor struct {
 // instant t — the historical nearest-neighbour query of [6], served by the
 // same index.
 func (db *DB) NearestAt(x, y, t float64, k int) ([]Neighbor, error) {
+	return db.NearestAtContext(context.Background(), x, y, t, k)
+}
+
+// NearestAtContext is NearestAt under a context: cancellation is checked
+// before every node read and surfaces as an error wrapping ErrCanceled.
+func (db *DB) NearestAtContext(ctx context.Context, x, y, t float64, k int) ([]Neighbor, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	tree, _ := db.view()
-	res, err := index.NearestAt(tree, geom.Point{X: x, Y: y}, t, k)
+	res, err := index.NearestAtContext(ctx, tree, geom.Point{X: x, Y: y}, t, k)
 	if err != nil {
 		return nil, err
 	}
@@ -520,9 +718,18 @@ type TopologyResult struct {
 // topological relation (enter/leave/cross/…). Candidates are found through
 // the index; objects that never enter the region are omitted.
 func (db *DB) TopologyQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyResult, error) {
+	return db.TopologyQueryContext(context.Background(), minX, minY, maxX, maxY, t1, t2)
+}
+
+// TopologyQueryContext is TopologyQuery under a context: cancellation is
+// checked before every node read of the candidate-finding phase and
+// between candidate classifications.
+func (db *DB) TopologyQueryContext(ctx context.Context, minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyResult, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	tree, _ := db.view()
 	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
-	entries, err := index.RangeSearch(tree, box)
+	entries, err := index.RangeSearchContext(ctx, tree, box)
 	if err != nil {
 		return nil, err
 	}
@@ -533,8 +740,11 @@ func (db *DB) TopologyQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyR
 		if seen[e.TrajID] {
 			continue
 		}
+		if err := index.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		seen[e.TrajID] = true
-		tr := db.Get(e.TrajID)
+		tr := db.get(e.TrajID)
 		if tr == nil {
 			continue
 		}
@@ -567,11 +777,23 @@ type RelaxedResult struct {
 // golden-section per candidate); trajectories shorter than the query are
 // skipped.
 func (db *DB) KMostSimilarRelaxed(q *Trajectory, k int) ([]RelaxedResult, error) {
+	return db.KMostSimilarRelaxedContext(context.Background(), q, k)
+}
+
+// KMostSimilarRelaxedContext is KMostSimilarRelaxed under a context:
+// cancellation is checked between candidate optimizations and surfaces as
+// an error wrapping ErrCanceled.
+func (db *DB) KMostSimilarRelaxedContext(ctx context.Context, q *Trajectory, k int) ([]RelaxedResult, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ds, err := db.dataset()
 	if err != nil {
 		return nil, err
 	}
-	res := mst.RelaxedScan(ds, q, k, mst.RelaxedOptions{})
+	res, err := mst.RelaxedScanContext(ctx, ds, q, k, mst.RelaxedOptions{})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]RelaxedResult, len(res))
 	for i, r := range res {
 		out[i] = RelaxedResult{TrajID: r.TrajID, Dissim: r.Dissim, Offset: r.Offset}
@@ -598,6 +820,8 @@ type QueryCostEstimate struct {
 // using a 3D histogram over the stored segments (built lazily, cached
 // until the next Add).
 func (db *DB) EstimateQueryCost(q *Trajectory, t1, t2 float64, k int) (QueryCostEstimate, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	h, err := db.histogram()
 	if err != nil {
 		return QueryCostEstimate{}, err
@@ -619,6 +843,8 @@ func (db *DB) EstimateQueryCost(q *Trajectory, t1, t2 float64, k int) (QueryCost
 
 // EstimateRangeCount predicts how many segments a RangeQuery would return.
 func (db *DB) EstimateRangeCount(minX, minY, maxX, maxY, t1, t2 float64) (float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	h, err := db.histogram()
 	if err != nil {
 		return 0, err
@@ -629,7 +855,8 @@ func (db *DB) EstimateRangeCount(minX, minY, maxX, maxY, t1, t2 float64) (float6
 }
 
 // histogram lazily builds the selectivity histogram (resolution grows with
-// the cube root of the segment count, capped for memory).
+// the cube root of the segment count, capped for memory). Callers must
+// hold db.mu (either side); queries share the cache via dsMu.
 func (db *DB) histogram() (*selectivity.Histogram, error) {
 	db.dsMu.Lock()
 	defer db.dsMu.Unlock()
@@ -643,7 +870,7 @@ func (db *DB) histogram() (*selectivity.Histogram, error) {
 		}
 		db.ds = ds
 	}
-	res := int(math.Cbrt(float64(db.NumSegments()))) / 2
+	res := int(math.Cbrt(float64(db.numSegments()))) / 2
 	if res < 4 {
 		res = 4
 	}

@@ -43,8 +43,12 @@ var (
 )
 
 // Save writes the whole database — index pages and trajectory store — to
-// path atomically (write to a temp file, then rename).
+// path atomically (write to a temp file, then rename). Save takes the
+// database's read lock, so it snapshots a consistent state even while
+// queries run.
 func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -179,6 +183,11 @@ func Load(path string) (*DB, error) {
 	if pageSize == 0 || pageSize > 1<<20 {
 		return nil, fmt.Errorf("%w: page size %d", ErrBadSnapshot, pageSize)
 	}
+	// Length fields must be plausible against the physical file size, so a
+	// corrupted count fails cleanly instead of provoking a huge allocation.
+	if int64(numPages)*int64(pageSize) > st.Size() {
+		return nil, fmt.Errorf("%w: %d pages of %d bytes exceed snapshot size", ErrBadSnapshot, numPages, pageSize)
+	}
 
 	db := &DB{
 		kind: IndexKind(kind),
@@ -202,6 +211,9 @@ func Load(path string) (*DB, error) {
 	if err := read(&nTrj); err != nil {
 		return nil, fmt.Errorf("%w: truncated trajectory section", ErrBadSnapshot)
 	}
+	if int64(nTrj) > st.Size()/8 {
+		return nil, fmt.Errorf("%w: trajectory count %d exceeds snapshot size", ErrBadSnapshot, nTrj)
+	}
 	for i := uint32(0); i < nTrj; i++ {
 		var id, n uint32
 		if err := read(&id); err != nil {
@@ -209,6 +221,9 @@ func Load(path string) (*DB, error) {
 		}
 		if err := read(&n); err != nil {
 			return nil, fmt.Errorf("%w: truncated trajectory header", ErrBadSnapshot)
+		}
+		if int64(n) > st.Size()/24 {
+			return nil, fmt.Errorf("%w: sample count %d exceeds snapshot size", ErrBadSnapshot, n)
 		}
 		tr := Trajectory{ID: ID(id), Samples: make([]Sample, n)}
 		for j := uint32(0); j < n; j++ {

@@ -160,6 +160,111 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 }
 
+// snapshotFixture saves a small database and returns the raw snapshot.
+func snapshotFixture(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(27))
+	trajs := fleet(rng, 3, 8)
+	db, err := NewDB(RTree3D, trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.mstdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// loadBytes writes raw to a file and Loads it, converting any panic into
+// a test failure: corrupt input must always come back as a typed error.
+func loadBytes(t *testing.T, dir string, raw []byte) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Load panicked on corrupt input: %v", r)
+		}
+	}()
+	path := filepath.Join(dir, "cut.mstdb")
+	if werr := os.WriteFile(path, raw, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	_, err = Load(path)
+	return err
+}
+
+// typedSnapshotError reports whether err is one of Load's documented
+// failure modes.
+func typedSnapshotError(err error) bool {
+	return errors.Is(err, ErrBadSnapshot) ||
+		errors.Is(err, ErrSnapshotVersion) ||
+		errors.Is(err, ErrSnapshotCRC)
+}
+
+// TestLoadTruncationEverywhere cuts the snapshot at every field boundary
+// of the format — and at every byte of the header region for good
+// measure. Each cut must yield a typed error, never a panic and never a
+// silently partial database.
+func TestLoadTruncationEverywhere(t *testing.T) {
+	raw := snapshotFixture(t)
+	dir := t.TempDir()
+
+	cuts := map[int]bool{}
+	// Every byte through the fixed header (magic, version, kind, index
+	// metadata, vmax, page geometry) and a little beyond.
+	for i := 0; i <= 64 && i < len(raw); i++ {
+		cuts[i] = true
+	}
+	// Page boundaries and mid-page cuts.
+	const hdr = 6 + 2 + 1 + 12 + 8 + 8 // magic..numPages
+	for off := hdr; off < len(raw); off += 4096 {
+		cuts[off] = true
+		cuts[off+2048] = true
+	}
+	// The trailing CRC region and the byte before it.
+	for i := 1; i <= 5; i++ {
+		cuts[len(raw)-i] = true
+	}
+
+	for cut := range cuts {
+		if cut >= len(raw) {
+			continue
+		}
+		err := loadBytes(t, dir, raw[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d loaded successfully", cut, len(raw))
+		}
+		if !typedSnapshotError(err) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+// TestLoadFlippedByteAnywhere flips every single byte of the snapshot in
+// turn: each corruption must surface as a typed error — the trailing CRC
+// guarantees nothing slips through — and must never panic.
+func TestLoadFlippedByteAnywhere(t *testing.T) {
+	raw := snapshotFixture(t)
+	dir := t.TempDir()
+
+	bad := make([]byte, len(raw))
+	for off := 0; off < len(raw); off++ {
+		copy(bad, raw)
+		bad[off] ^= 0xFF
+		err := loadBytes(t, dir, bad)
+		if err == nil {
+			t.Fatalf("flipped byte at %d of %d loaded successfully", off, len(raw))
+		}
+		if !typedSnapshotError(err) {
+			t.Fatalf("flipped byte at %d: untyped error %v", off, err)
+		}
+	}
+}
+
 func TestSaveIsAtomic(t *testing.T) {
 	rng := rand.New(rand.NewSource(25))
 	trajs := fleet(rng, 5, 20)
