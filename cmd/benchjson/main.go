@@ -1,0 +1,140 @@
+// benchjson converts `go test -bench` text output into a stable JSON
+// document suitable for checking into results/ and diffing across PRs.
+//
+// Usage:
+//
+//	go test -bench 'Fig10|Dissim' -benchmem ./... | go run ./cmd/benchjson -o results/BENCH.json
+//
+// It reads the benchmark stream on stdin, keeps the environment header
+// lines (goos/goarch/pkg/cpu), and parses each Benchmark result line into
+// name, parallelism suffix, iteration count, and the standard ns/op,
+// B/op, allocs/op metrics plus any custom unit metrics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the checked-in document.
+type Report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			r.Package = pkg
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResult parses "BenchmarkName-8  1234  56.7 ns/op  8 B/op  1 allocs/op
+// 9.9 custom/unit" lines; ok is false for lines that only name a benchmark
+// (sub-benchmark headers) or fail to parse.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0]}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = procs
+			r.Name = r.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,98 @@
+// mstlint is the repository's invariant multichecker: it runs the custom
+// analyzers of internal/analysis (floatcmp, ctxflow, typederr, mutexcopy,
+// lockguard) over the module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/mstlint ./...          # whole module (the CI gate)
+//	go run ./cmd/mstlint ./internal/mst # one package
+//	go run ./cmd/mstlint -list          # describe the analyzers
+//
+// Findings are suppressed per line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The checker is built only on the standard library's go/ast + go/types
+// (see internal/analysis), so it runs in hermetic build environments with
+// no module downloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mstsearch/internal/analysis"
+	"mstsearch/internal/analysis/ctxflow"
+	"mstsearch/internal/analysis/floatcmp"
+	"mstsearch/internal/analysis/lockcheck"
+	"mstsearch/internal/analysis/typederr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	ctxflow.Analyzer,
+	typederr.Analyzer,
+	lockcheck.MutexCopy,
+	lockcheck.LockGuard,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = fmt.Sprint(a.Packages)
+			}
+			fmt.Printf("%-10s %s\n           scope: %s\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns); err != nil {
+		fmt.Fprintln(os.Stderr, "mstlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		return err
+	}
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		applicable := make([]*analysis.Analyzer, 0, len(analyzers))
+		for _, a := range analyzers {
+			if a.AppliesTo(path) {
+				applicable = append(applicable, a)
+			}
+		}
+		diags, err := analysis.Run(pkg, applicable)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mstlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast, go/parser, go/types and go/build packages (this
+// repository deliberately carries no third-party dependencies).
+//
+// It exists to machine-check the invariants the paper's correctness
+// arguments rest on — epsilon-safe float comparisons in the geometry and
+// bound computations, context propagation through the query stack, typed
+// errors across the storage boundary, and lock discipline on shared
+// structures — instead of trusting convention. The concrete rules live in
+// the analyzer subpackages (floatcmp, ctxflow, typederr, lockcheck) and
+// are driven by cmd/mstlint.
+//
+// # Suppression
+//
+// A finding can be silenced with a staticcheck-style directive placed on
+// the offending line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// The justification is mandatory; a bare directive is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Packages restricts which import paths the driver applies the
+	// analyzer to (exact match). Empty means every package. Test runners
+	// ignore this field and run the analyzer unconditionally.
+	Packages []string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the driver should run the analyzer on the
+// package with the given import path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do, so editors can jump
+// to it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name, or "*" for all
+	reason   string
+	position token.Position
+	used     bool
+}
+
+// suppressions indexes lint:ignore directives by file and line. A
+// directive covers its own line and the next one, so it works both as a
+// trailing comment and on the line above a flagged statement.
+type suppressions struct {
+	byLine map[string]map[int]*ignoreDirective
+	bad    []Diagnostic // malformed directives, reported as findings
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					s.bad = append(s.bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Position: pos,
+						Message:  "malformed //lint:ignore directive: need an analyzer name and a justification",
+					})
+					continue
+				}
+				d := &ignoreDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " "), position: pos}
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = map[int]*ignoreDirective{}
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = d
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by a directive, marking the
+// directive used.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	m := s.byLine[d.Position.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		if dir, ok := m[line]; ok && (dir.analyzer == "*" || dir.analyzer == d.Analyzer) {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// surviving diagnostics sorted by position. lint:ignore directives are
+// honoured; malformed ones surface as findings themselves.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Position, kept[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

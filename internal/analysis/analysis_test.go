@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoaderModulePackage exercises the module-local import resolution:
+// internal/dissim imports internal/geom and internal/trajectory, all of
+// which must type-check from source with only stdlib machinery.
+func TestLoaderModulePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModulePath != "mstsearch" {
+		t.Fatalf("module path = %q, want mstsearch", l.ModulePath)
+	}
+	pkg, err := l.Load("mstsearch/internal/dissim")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	if pkg.Types.Name() != "dissim" {
+		t.Fatalf("package name = %q, want dissim", pkg.Types.Name())
+	}
+	// Cached second load must return the same package.
+	again, err := l.Load("mstsearch/internal/dissim")
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if again != pkg {
+		t.Error("second Load did not hit the cache")
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := l.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	want := map[string]bool{
+		"mstsearch":                   false,
+		"mstsearch/internal/geom":     false,
+		"mstsearch/internal/storage":  false,
+		"mstsearch/cmd/mstlint":       false,
+		"mstsearch/internal/analysis": false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("pattern ./... did not yield %s (got %d paths)", p, len(paths))
+		}
+	}
+}
+
+// TestSuppressions checks directive parsing and coverage rules directly.
+func TestSuppressions(t *testing.T) {
+	d := Diagnostic{Analyzer: "floatcmp", Position: token.Position{Filename: "f.go", Line: 10}}
+	s := &suppressions{byLine: map[string]map[int]*ignoreDirective{
+		"f.go": {9: {analyzer: "floatcmp", reason: "r"}},
+	}}
+	if !s.suppressed(d) {
+		t.Error("directive on the previous line should suppress")
+	}
+	s = &suppressions{byLine: map[string]map[int]*ignoreDirective{
+		"f.go": {10: {analyzer: "*", reason: "r"}},
+	}}
+	if !s.suppressed(d) {
+		t.Error("wildcard directive on the same line should suppress")
+	}
+	s = &suppressions{byLine: map[string]map[int]*ignoreDirective{
+		"f.go": {10: {analyzer: "ctxflow", reason: "r"}},
+	}}
+	if s.suppressed(d) {
+		t.Error("directive for another analyzer must not suppress")
+	}
+}

@@ -1,0 +1,103 @@
+// Package analysistest runs an analyzer against fixture packages and
+// checks its diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest without the
+// dependency.
+//
+// A fixture is a directory of Go files forming one package. Lines
+// expected to be flagged carry a trailing comment
+//
+//	// want "regexp"
+//
+// whose quoted regular expression must match the diagnostic's message.
+// Several expectations may share a line (`// want "a" "b"`). Every
+// diagnostic must be matched by an expectation on its line and vice
+// versa; clean fixture files simply contain no want comments. lint:ignore
+// directives are honoured, so fixtures can also assert the suppression
+// machinery.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mstsearch/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want pattern and whether a diagnostic matched it.
+type expectation struct {
+	re      *regexp.Regexp
+	pos     token.Position
+	matched bool
+}
+
+// Run loads the fixture package in dir, applies the analyzer, and reports
+// any mismatch between produced diagnostics and want expectations as test
+// errors. It returns the diagnostics for additional assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Collect expectations from // want comments.
+	expects := map[string][]*expectation{} // "file:line" → expectations
+	key := func(p token.Position) string {
+		return p.Filename + ":" + strconv.Itoa(p.Line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					expects[key(pos)] = append(expects[key(pos)], &expectation{re: re, pos: pos})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key(d.Position)
+		matched := false
+		for _, e := range expects[k] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", e.pos, e.re)
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,108 @@
+// Package floatcmp forbids == and != on floating-point operands in the
+// numeric core of the library (internal/geom, internal/dissim,
+// internal/mst).
+//
+// The paper's pruning correctness rests on ordered bounds
+// (OPTDISSIM ≤ DISSIM ≤ PESDISSIM) computed from floating-point
+// geometry; a bit-exact equality slipped into that code usually means an
+// unintended tolerance of exactly zero and silently wrong top-k answers
+// rather than a crash. Comparisons must go through the approved helpers
+// in internal/geom — whose declarations carry a "floatcmp:approved"
+// marker in their doc comment — so every exact comparison in the core is
+// explicit, named, and auditable. Residual cases can carry a
+// //lint:ignore floatcmp <reason> directive.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mstsearch/internal/analysis"
+)
+
+// Marker is the doc-comment marker that approves every float comparison
+// inside a function (used by the epsilon helpers themselves).
+const Marker = "floatcmp:approved"
+
+// Analyzer is the floatcmp invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on float operands outside approved epsilon helpers " +
+		"(functions whose doc comment contains " + Marker + ")",
+	Packages: []string{
+		"mstsearch/internal/geom",
+		"mstsearch/internal/dissim",
+		"mstsearch/internal/mst",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Body ranges of approved functions.
+		var approved [][2]token.Pos
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			if containsMarker(fd.Doc) {
+				approved = append(approved, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		inApproved := func(pos token.Pos) bool {
+			for _, r := range approved {
+				if r[0] <= pos && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, be.X) && !isFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// Comparisons fully decided at compile time are harmless.
+			if isConst(pass.TypesInfo, be.X) && isConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if inApproved(be.OpPos) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use an approved epsilon helper from internal/geom (ExactEq/IsZero for intentional bit-exact guards)",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func containsMarker(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

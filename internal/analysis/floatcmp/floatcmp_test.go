@@ -1,0 +1,24 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	diags := analysistest.Run(t, floatcmp.Analyzer, "testdata/floatcmp")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	if !floatcmp.Analyzer.AppliesTo("mstsearch/internal/geom") {
+		t.Error("floatcmp should apply to internal/geom")
+	}
+	if floatcmp.Analyzer.AppliesTo("mstsearch/internal/storage") {
+		t.Error("floatcmp should not apply to internal/storage")
+	}
+}

@@ -1,0 +1,50 @@
+package fixture
+
+// Eps is the absolute tolerance used by the epsilon helpers.
+const Eps = 1e-12
+
+// ExactEq is a deliberate bit-exact comparison helper.
+//
+// floatcmp:approved — exact comparison is this helper's whole purpose.
+func ExactEq(a, b float64) bool { return a == b }
+
+// Near is an epsilon comparison; no exact comparison inside, so no
+// marker needed.
+func Near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= Eps
+}
+
+func bad(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func badMixed(a float64, n int) bool {
+	return a == float64(n) // want "floating-point == comparison"
+}
+
+func badThroughHelperCall(a, b float64) bool {
+	// Calling the approved helper is the fix; comparing its result is fine,
+	// but a second raw comparison is still flagged.
+	return ExactEq(a, b) || a != b // want "floating-point != comparison"
+}
+
+func constFolded() bool {
+	return 1.0 == 2.0 // clean: decided at compile time
+}
+
+func ints(a, b int) bool { return a == b } // clean: not floats
+
+func ordered(a, b float64) bool { return a < b } // clean: ordering is fine
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp demonstrating the documented escape hatch
+	return a == b
+}

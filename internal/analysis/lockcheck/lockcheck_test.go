@@ -1,0 +1,22 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/lockcheck"
+)
+
+func TestMutexCopy(t *testing.T) {
+	diags := analysistest.Run(t, lockcheck.MutexCopy, "testdata/mutexcopy")
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6", len(diags))
+	}
+}
+
+func TestLockGuard(t *testing.T) {
+	diags := analysistest.Run(t, lockcheck.LockGuard, "testdata/lockguard")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

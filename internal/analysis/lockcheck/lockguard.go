@@ -1,0 +1,179 @@
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mstsearch/internal/analysis"
+)
+
+// LockGuard is the guarded-field access check.
+//
+// Convention (the one this codebase already follows): within a struct, a
+// sync.Mutex/RWMutex field guards every field declared after it, up to
+// the next mutex field. A method that reads or writes a guarded field
+// must either call <recv>.<mu>.Lock/RLock somewhere in its body, or
+// declare the caller-holds-lock contract in its doc comment with the
+// words "must hold" naming the mutex (e.g. "callers must hold db.mu").
+// Deliberately latch-free accesses carry //lint:ignore lockguard <why>.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "methods touching mutex-guarded struct fields must acquire the " +
+		"mutex or document the \"must hold\" contract",
+	Run: runLockGuard,
+}
+
+// guardInfo maps a struct's field names to the mutex field guarding them.
+type guardInfo struct {
+	muxes  map[string]bool   // mutex field names
+	guards map[string]string // field name → guarding mutex name
+}
+
+func runLockGuard(pass *analysis.Pass) error {
+	guarded := map[*types.Named]*guardInfo{} // structs with mutex fields
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if gi := buildGuardInfo(st); gi != nil {
+			guarded[named] = gi
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := receiverNamed(pass.TypesInfo, fd)
+			gi := guarded[named]
+			if gi == nil {
+				continue
+			}
+			checkMethod(pass, fd, gi)
+		}
+	}
+	return nil
+}
+
+// buildGuardInfo derives the mutex→fields mapping from declaration
+// order, or nil when the struct has no mutex fields.
+func buildGuardInfo(st *types.Struct) *guardInfo {
+	gi := &guardInfo{muxes: map[string]bool{}, guards: map[string]string{}}
+	current := ""
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutex(f.Type()) {
+			gi.muxes[f.Name()] = true
+			current = f.Name()
+			continue
+		}
+		if current != "" {
+			gi.guards[f.Name()] = current
+		}
+	}
+	if len(gi.muxes) == 0 {
+		return nil
+	}
+	return gi
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, gi *guardInfo) {
+	// A documented caller-holds-lock contract exempts the method. The
+	// doc text is whitespace-normalized first so a contract wrapped
+	// across comment lines ("... must\n// hold db.mu") still counts.
+	if fd.Doc != nil {
+		doc := strings.Join(strings.Fields(strings.ToLower(fd.Doc.Text())), " ")
+		if strings.Contains(doc, "must hold") {
+			return
+		}
+	}
+	recvName := ""
+	if names := fd.Recv.List[0].Names; len(names) > 0 {
+		recvName = names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		return // receiver unused; nothing to access
+	}
+
+	// Mutexes this method acquires: recv.mu.Lock / recv.mu.RLock calls.
+	acquired := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || base.Name != recvName || !gi.muxes[inner.Sel.Name] {
+			return true
+		}
+		acquired[inner.Sel.Name] = true
+		return true
+	})
+
+	// Guarded-field accesses without the guarding mutex held.
+	reported := map[string]bool{} // one report per field keeps the output readable
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		mu, isGuarded := gi.guards[sel.Sel.Name]
+		if !isGuarded || acquired[mu] || reported[sel.Sel.Name] {
+			return true
+		}
+		reported[sel.Sel.Name] = true
+		pass.Reportf(sel.Pos(),
+			"%s accesses %s.%s (guarded by %s.%s) without acquiring the lock; lock it or document the contract (\"callers must hold %s.%s\")",
+			fd.Name.Name, recvName, sel.Sel.Name, recvName, mu, recvName, mu)
+		return true
+	})
+}

@@ -1,0 +1,148 @@
+// Package lockcheck provides the two lock-discipline analyzers:
+//
+//   - MutexCopy flags by-value copies of lock-holding structs (receivers,
+//     parameters, results, assignments, range values) — a copied mutex
+//     guards nothing and deadlocks or races are the usual outcome;
+//   - LockGuard checks that methods touching mutex-guarded struct fields
+//     either acquire the guarding mutex or document the caller-holds-lock
+//     contract in their doc comment ("must hold <mu>").
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mstsearch/internal/analysis"
+)
+
+// MutexCopy is the by-value lock copy check.
+var MutexCopy = &analysis.Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag by-value copies of structs that contain sync locks",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Discards (`_ = v`) don't produce a live copy
+					// whose lock could be used; skip them.
+					if i < len(n.Lhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkValueCopy(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypesInfo.TypeOf(n.Value); t != nil && containsLock(t, nil) {
+						pass.Reportf(n.Value.Pos(),
+							"range value copies %s, which contains a lock; iterate by index or over pointers", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncSig(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(field *ast.Field, role string) {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || isPointerLike(t) || !containsLock(t, nil) {
+			return
+		}
+		pass.Reportf(field.Pos(), "%s of %s passes %s by value, copying its lock; use a pointer",
+			role, fd.Name.Name, t)
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			report(field, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			report(field, "parameter")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			report(field, "result")
+		}
+	}
+}
+
+// checkValueCopy flags x := y / x = *p where the copied value contains a
+// lock. Composite literals construct fresh values and are allowed.
+func checkValueCopy(pass *analysis.Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(rhs)
+	if t == nil || isPointerLike(t) || !containsLock(t, nil) {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a lock; use a pointer", t)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Slice, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// lockTypes are the sync types whose by-value copy is a bug.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true,
+	"WaitGroup": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// isSyncLock reports whether t is one of the sync lock types.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()]
+}
+
+// containsLock reports whether t transitively contains a sync lock by
+// value. seen guards against recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package fixture
+
+import "sync"
+
+// Counter follows the convention the analyzer enforces: each mutex field
+// guards the fields declared after it up to the next mutex field.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+
+	statsMu sync.RWMutex
+	reads   int
+}
+
+// Incr acquires the right lock.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Reads takes the read side of the stats lock.
+func (c *Counter) Reads() int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.reads
+}
+
+// peek returns the raw count; callers must hold c.mu.
+func (c *Counter) peek() int { return c.n }
+
+// wrappedDoc exercises doc normalization: the contract's words must
+// hold even when the comment wraps between "must" and "hold".
+func (c *Counter) wrappedDoc() int { return c.n }
+
+func (c *Counter) badGet() int {
+	return c.n // want "badGet accesses c.n"
+}
+
+func (c *Counter) badWrongLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads // want "badWrongLock accesses c.reads"
+}
+
+func (c *Counter) suppressed() int {
+	//lint:ignore lockguard racy metrics read is acceptable here by design
+	return c.n
+}
+
+// Plain has no mutex fields; the analyzer leaves it alone.
+type Plain struct{ n int }
+
+// Get is unguarded by design.
+func (p *Plain) Get() int { return p.n }

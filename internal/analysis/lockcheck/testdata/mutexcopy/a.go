@@ -1,0 +1,52 @@
+package fixture
+
+import "sync"
+
+// Store holds a lock and must only move by pointer.
+type Store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// newStore constructs via composite literal — not a copy, stays clean.
+func newStore() *Store {
+	return &Store{data: map[string]int{}}
+}
+
+func goodPointer(s *Store) {}
+
+func badParam(s Store) {} // want "parameter of badParam passes fixture.Store by value"
+
+func (s Store) badRecv() {} // want "receiver of badRecv passes fixture.Store by value"
+
+func badAssign(p *Store) {
+	v := *p // want "assignment copies fixture.Store"
+	_ = v
+}
+
+func badIndexCopy(list []Store) {
+	v := list[0] // want "assignment copies fixture.Store"
+	_ = v
+}
+
+func badRange(list []Store) {
+	for _, v := range list { // want "range value copies fixture.Store"
+		_ = v
+	}
+}
+
+func goodRangeIndex(list []Store) {
+	for i := range list {
+		_ = &list[i]
+	}
+}
+
+// Wrapped embeds a lock transitively.
+type Wrapped struct{ inner Store }
+
+func badWrapped(w Wrapped) {} // want "parameter of badWrapped passes fixture.Wrapped by value"
+
+// Flat has no lock; copies are fine.
+type Flat struct{ n int }
+
+func goodFlat(f Flat) Flat { return f }

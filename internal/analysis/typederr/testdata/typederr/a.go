@@ -1,0 +1,36 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is the approved pattern: a package-level typed sentinel.
+var ErrNotFound = errors.New("fixture: not found")
+
+// ErrDerived shows package-level fmt.Errorf sentinels are also fine.
+var ErrDerived = fmt.Errorf("%w (derived)", ErrNotFound)
+
+func lookup(ok bool) error {
+	if !ok {
+		return fmt.Errorf("%w: key missing", ErrNotFound) // clean: wraps a sentinel
+	}
+	return nil
+}
+
+func badNew() error {
+	return errors.New("oops") // want "bare errors.New inside badNew"
+}
+
+func badErrorf(id int) error {
+	return fmt.Errorf("thing %d failed", id) // want "fmt.Errorf without %w inside badErrorf"
+}
+
+func goodWrapTwice(err error) error {
+	return fmt.Errorf("%w: while flushing: %w", ErrNotFound, err) // clean
+}
+
+func suppressed() error {
+	//lint:ignore typederr diagnostic string for a CLI, never crosses the API boundary
+	return errors.New("fixture: bad flag")
+}

@@ -1,0 +1,99 @@
+// Package typederr enforces the typed-error contract on the storage and
+// search boundaries (internal/storage, internal/mst).
+//
+// PR 1 built a failure taxonomy callers can program against with
+// errors.Is/As: ErrPageCorrupt, ErrCanceled, ErrInjected, budget
+// degradation. That taxonomy only survives if every error constructed on
+// those paths is either a package-level sentinel or wraps one with %w. A
+// bare errors.New or a fmt.Errorf without %w inside a function body
+// produces an anonymous error that defeats errors.Is at the DB facade,
+// so both are flagged. Package-level sentinel declarations (var Err... =
+// errors.New(...)) are the approved pattern and stay legal.
+package typederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"mstsearch/internal/analysis"
+)
+
+// Analyzer is the typederr invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "errors leaving the storage and search layers must be typed " +
+		"sentinels or wrap one with %w (no bare errors.New / fmt.Errorf in function bodies)",
+	Packages: []string{
+		"mstsearch/internal/storage",
+		"mstsearch/internal/mst",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					pass.Reportf(call.Pos(),
+						"bare errors.New inside %s; declare a package-level sentinel (var Err... = errors.New) or wrap one with %%w",
+						fd.Name.Name)
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					if lit := formatLiteral(call); lit != "" && !strings.Contains(lit, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w inside %s loses the typed error chain; wrap a sentinel with %%w",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// formatLiteral returns the first argument's string value when it is a
+// constant, or "" (dynamic formats are given the benefit of the doubt).
+func formatLiteral(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

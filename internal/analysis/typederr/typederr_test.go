@@ -1,0 +1,15 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	diags := analysistest.Run(t, typederr.Analyzer, "testdata/typederr")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

@@ -1,0 +1,24 @@
+package debugassert
+
+import "testing"
+
+func TestAssertf(t *testing.T) {
+	// True conditions never panic regardless of build tag.
+	Assertf(true, "should not fire")
+
+	if !Enabled {
+		// Release build: false conditions are no-ops too.
+		Assertf(false, "compiled out")
+		return
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assertf(false) did not panic with assertions enabled")
+		}
+		if s, ok := r.(string); !ok || s != "debugassert: boom 42" {
+			t.Fatalf("panic value = %v, want %q", r, "debugassert: boom 42")
+		}
+	}()
+	Assertf(false, "boom %d", 42)
+}

@@ -1,0 +1,7 @@
+//go:build !debugassert
+
+package debugassert
+
+// Enabled reports whether sanitizer assertions are compiled in. Release
+// builds have them off; guarded blocks are eliminated at compile time.
+const Enabled = false

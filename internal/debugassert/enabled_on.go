@@ -1,0 +1,7 @@
+//go:build debugassert
+
+package debugassert
+
+// Enabled reports whether sanitizer assertions are compiled in. This
+// build has them on (-tags debugassert).
+const Enabled = true

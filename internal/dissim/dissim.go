@@ -19,6 +19,7 @@ package dissim
 import (
 	"math"
 
+	"mstsearch/internal/debugassert"
 	"mstsearch/internal/geom"
 	"mstsearch/internal/trajectory"
 )
@@ -81,6 +82,17 @@ func intervalValue(tri geom.Trinomial, refine int) Value {
 	a, e := tri.TrapezoidRefined(refine)
 	if math.IsInf(e, 1) {
 		return Value{Approx: tri.Integral(), Err: 0}
+	}
+	if debugassert.Enabled {
+		// Lemma 1 ordering: the exact integral lies inside the certified
+		// band [approx-err, approx+err]. The closed form and the
+		// trapezoid sum round differently, hence the relative slack.
+		exact := tri.Integral()
+		slack := 1e-7 * (1 + math.Abs(exact))
+		debugassert.Assertf(e >= 0, "negative trapezoid error bound %v", e)
+		debugassert.Assertf(a-e-slack <= exact && exact <= a+e+slack,
+			"Lemma 1 violated: exact integral %v outside [%v, %v] (approx %v ± %v)",
+			exact, a-e, a+e, a, e)
 	}
 	return Value{Approx: a, Err: e}
 }

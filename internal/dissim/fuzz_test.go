@@ -1,0 +1,67 @@
+package dissim
+
+import (
+	"math"
+	"testing"
+
+	"mstsearch/internal/geom"
+)
+
+// FuzzTrapezoidBound fuzzes the Lemma 1 contract the whole pruning
+// framework rests on: for any time-aligned segment pair, the exact
+// distance integral lies within [approx-errBound, approx+errBound] of the
+// trapezoid approximation. A violation here would mean OPTDISSIM/PESDISSIM
+// intervals can exclude the true DISSIM and the k-MST search can return
+// wrong answers while believing them certified.
+func FuzzTrapezoidBound(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 0.0, 0.0, 3.0, 1.0)
+	f.Add(-5.0, 2.0, 5.0, -2.0, 0.0, 0.0, 0.0, 0.0, 10.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.5) // identical: zero distance
+	f.Add(0.0, 0.0, 4.0, 0.0, 2.0, 1.0, 2.0, -1.0, 2.0)
+	f.Add(100.0, -3.5, 0.25, 7.0, -80.0, 0.5, 60.0, -0.125, 1e-3)
+	f.Fuzz(func(t *testing.T, qax, qay, qbx, qby, tax, tay, tbx, tby, dt float64) {
+		coords := []float64{qax, qay, qbx, qby, tax, tay, tbx, tby}
+		for _, c := range coords {
+			// Keep positions in a physically plausible range; enormous
+			// magnitudes only probe catastrophic cancellation in float64,
+			// not the lemma.
+			if math.IsNaN(c) || math.Abs(c) > 1e6 {
+				t.Skip()
+			}
+		}
+		if math.IsNaN(dt) {
+			t.Skip()
+		}
+		dt = math.Abs(dt)
+		if dt < 1e-9 || dt > 1e6 {
+			t.Skip()
+		}
+		qs := geom.Segment{
+			A: geom.STPoint{X: qax, Y: qay, T: 0},
+			B: geom.STPoint{X: qbx, Y: qby, T: dt},
+		}
+		ts := geom.Segment{
+			A: geom.STPoint{X: tax, Y: tay, T: 0},
+			B: geom.STPoint{X: tbx, Y: tby, T: dt},
+		}
+		tri := geom.NewTrinomial(qs, ts)
+		exact := tri.Integral()
+		for _, refine := range []int{1, 4} {
+			approx, errBound := tri.TrapezoidRefined(refine)
+			if errBound < 0 {
+				t.Fatalf("negative error bound %v (refine=%d, tri=%+v)", errBound, refine, tri)
+			}
+			if math.IsInf(errBound, 1) {
+				// Near-contact pairs have an unbounded Lemma 1 bound; the
+				// production path (intervalValue) falls back to the exact
+				// integral there, so there is nothing to certify.
+				continue
+			}
+			slack := 1e-7 * (1 + math.Abs(exact))
+			if exact < approx-errBound-slack || exact > approx+errBound+slack {
+				t.Fatalf("Lemma 1 violated (refine=%d): exact %v outside [%v, %v] (approx %v ± %v, tri=%+v)",
+					refine, exact, approx-errBound, approx+errBound, approx, errBound, tri)
+			}
+		}
+	})
+}

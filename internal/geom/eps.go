@@ -1,0 +1,27 @@
+package geom
+
+import "math"
+
+// This file holds the approved floating-point comparison helpers. The
+// floatcmp analyzer (internal/analysis/floatcmp) forbids raw ==/!= on
+// floats in the numeric kernels; call sites either use the tolerance
+// helpers below or make bit-exact intent explicit through ExactEq /
+// ExactZero. Functions carrying the "floatcmp:approved" marker in their
+// doc comment are the only places raw float equality may appear.
+
+// ExactEq reports whether a and b are bit-for-bit equal floats. Use it
+// where exact equality is the intent — degenerate-input guards before a
+// division, or deterministic tie-breaking in sort comparators — so the
+// intent survives the linter. floatcmp:approved
+func ExactEq(a, b float64) bool { return a == b }
+
+// ExactZero reports whether x is exactly ±0. It guards divisions where
+// any non-zero denominator, however tiny, is mathematically fine but a
+// true zero would poison the result with NaN/Inf. floatcmp:approved
+func ExactZero(x float64) bool { return x == 0 }
+
+// Near reports |a-b| <= eps.
+func Near(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// IsZero reports |x| <= Eps, the package's default tolerance.
+func IsZero(x float64) bool { return math.Abs(x) <= Eps }

@@ -51,7 +51,7 @@ func (p STPoint) Spatial() Point { return Point{p.X, p.Y} }
 // are simultaneous the position of a is returned.
 func Lerp(a, b STPoint, t float64) STPoint {
 	dt := b.T - a.T
-	if dt == 0 {
+	if ExactZero(dt) {
 		return STPoint{a.X, a.Y, t}
 	}
 	f := (t - a.T) / dt
@@ -74,7 +74,7 @@ func (s Segment) At(t float64) STPoint { return Lerp(s.A, s.B, t) }
 // for an instantaneous segment.
 func (s Segment) Velocity() Point {
 	dt := s.Duration()
-	if dt == 0 {
+	if ExactZero(dt) {
 		return Point{}
 	}
 	return Point{(s.B.X - s.A.X) / dt, (s.B.Y - s.A.Y) / dt}
@@ -138,6 +138,14 @@ func MBBOfSegment(s Segment) MBB {
 
 // IsEmpty reports whether b bounds nothing.
 func (b MBB) IsEmpty() bool { return b.MinX > b.MaxX || b.MinY > b.MaxY || b.MinT > b.MaxT }
+
+// WellFormed reports min <= max on all three axes with no NaNs — the
+// validity invariant every MBB that reaches the index codec must satisfy.
+// The Expand identity from EmptyMBB is deliberately not well-formed: an
+// empty bound must never be persisted.
+func (b MBB) WellFormed() bool {
+	return b.MinX <= b.MaxX && b.MinY <= b.MaxY && b.MinT <= b.MaxT
+}
 
 // Rect returns the spatial (x, y) projection of b.
 func (b MBB) Rect() Rect { return Rect{b.MinX, b.MinY, b.MaxX, b.MaxY} }

@@ -7,7 +7,7 @@ import "math"
 func DistSegmentPoint(a, b, p Point) float64 {
 	ab := b.Sub(a)
 	den := ab.Dot(ab)
-	if den == 0 {
+	if ExactZero(den) {
 		return p.Dist(a)
 	}
 	t := clamp(p.Sub(a).Dot(ab)/den, 0, 1)
@@ -35,10 +35,10 @@ func segmentsIntersect(p1, p2, p3, p4 Point) bool {
 		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
 		return true
 	}
-	return (d1 == 0 && onSegment(p3, p4, p1)) ||
-		(d2 == 0 && onSegment(p3, p4, p2)) ||
-		(d3 == 0 && onSegment(p1, p2, p3)) ||
-		(d4 == 0 && onSegment(p1, p2, p4))
+	return (ExactZero(d1) && onSegment(p3, p4, p1)) ||
+		(ExactZero(d2) && onSegment(p3, p4, p2)) ||
+		(ExactZero(d3) && onSegment(p1, p2, p3)) ||
+		(ExactZero(d4) && onSegment(p1, p2, p4))
 }
 
 func cross(a, b, c Point) float64 {

@@ -176,7 +176,7 @@ func (tr Trinomial) TrapezoidRefined(n int) (approx, errBound float64) {
 		n = 1
 	}
 	dt := tr.Duration()
-	if dt == 0 {
+	if ExactZero(dt) {
 		return 0, 0
 	}
 	h := dt / float64(n)

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -22,21 +23,28 @@ func TestNodeCodecRoundTripQuick(t *testing.T) {
 		}
 		if leaf {
 			for i := 0; i < 1+rng.Intn(MaxLeafEntries(4096)); i++ {
+				a := geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6}
+				b := geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6}
+				// Well-formed segments respect the A.T <= B.T invariant
+				// (the decoder rejects anything else as corruption).
+				if b.T < a.T {
+					a, b = b, a
+				}
 				n.Leaves = append(n.Leaves, LeafEntry{
 					TrajID: trajectory.ID(rng.Uint32()),
 					SeqNo:  rng.Uint32(),
-					Seg: geom.Segment{
-						A: geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6},
-						B: geom.STPoint{X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e6, T: rng.NormFloat64() * 1e6},
-					},
+					Seg:    geom.Segment{A: a, B: b},
 				})
 			}
 		} else {
 			for i := 0; i < 1+rng.Intn(MaxChildEntries(4096)); i++ {
+				x1, x2 := rng.NormFloat64(), rng.NormFloat64()
+				y1, y2 := rng.NormFloat64(), rng.NormFloat64()
+				t1, t2 := rng.NormFloat64(), rng.NormFloat64()
 				n.Children = append(n.Children, ChildEntry{
 					MBB: geom.MBB{
-						MinX: rng.NormFloat64(), MinY: rng.NormFloat64(), MinT: rng.NormFloat64(),
-						MaxX: rng.NormFloat64(), MaxY: rng.NormFloat64(), MaxT: rng.NormFloat64(),
+						MinX: math.Min(x1, x2), MinY: math.Min(y1, y2), MinT: math.Min(t1, t2),
+						MaxX: math.Max(x1, x2), MaxY: math.Max(y1, y2), MaxT: math.Max(t1, t2),
 					},
 					Page: storage.PageID(rng.Uint32()),
 				})

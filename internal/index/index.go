@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"mstsearch/internal/debugassert"
 	"mstsearch/internal/geom"
 	"mstsearch/internal/storage"
 	"mstsearch/internal/trajectory"
@@ -134,6 +135,11 @@ func EncodeNode(n *Node, pageSize int) ([]byte, error) {
 			return nil, fmt.Errorf("index: leaf overflow: %d entries", len(n.Leaves))
 		}
 		for _, e := range n.Leaves {
+			if debugassert.Enabled {
+				debugassert.Assertf(e.Seg.A.T <= e.Seg.B.T,
+					"encoding leaf page %d: segment (traj %d seq %d) violates A.T <= B.T: %v > %v",
+					n.Page, e.TrajID, e.SeqNo, e.Seg.A.T, e.Seg.B.T)
+			}
 			binary.LittleEndian.PutUint32(buf[off:], uint32(e.TrajID))
 			off += 4
 			binary.LittleEndian.PutUint32(buf[off:], e.SeqNo)
@@ -150,6 +156,11 @@ func EncodeNode(n *Node, pageSize int) ([]byte, error) {
 			return nil, fmt.Errorf("index: internal overflow: %d entries", len(n.Children))
 		}
 		for _, c := range n.Children {
+			if debugassert.Enabled {
+				debugassert.Assertf(c.MBB.WellFormed(),
+					"encoding internal page %d: child (page %d) MBB not well-formed: %+v",
+					n.Page, c.Page, c.MBB)
+			}
 			putF(c.MBB.MinX)
 			putF(c.MBB.MinY)
 			putF(c.MBB.MinT)
@@ -198,6 +209,11 @@ func DecodeNode(page storage.PageID, buf []byte) (*Node, error) {
 			e.Seg.B.X = getF()
 			e.Seg.B.Y = getF()
 			e.Seg.B.T = getF()
+			// The decoder never hands out entries violating the time
+			// order invariant (NaN fails the comparison too).
+			if !(e.Seg.A.T <= e.Seg.B.T) {
+				return nil, ErrCorruptNode
+			}
 		}
 	} else {
 		if nodeHeaderSize+count*childEntrySize > len(buf) {
@@ -214,6 +230,11 @@ func DecodeNode(page storage.PageID, buf []byte) (*Node, error) {
 			c.MBB.MaxT = getF()
 			c.Page = storage.PageID(binary.LittleEndian.Uint32(buf[off:]))
 			off += 4
+			// Malformed child bounds (min > max or NaN) are corruption,
+			// not a decodable node.
+			if !c.MBB.WellFormed() {
+				return nil, ErrCorruptNode
+			}
 		}
 	}
 	return n, nil

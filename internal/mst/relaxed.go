@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mstsearch/internal/dissim"
+	"mstsearch/internal/geom"
 	"mstsearch/internal/index"
 	"mstsearch/internal/trajectory"
 )
@@ -74,7 +75,7 @@ func RelaxedDissim(q, t *trajectory.Trajectory, opts RelaxedOptions) (best float
 	}
 
 	// Degenerate feasible range: single offset.
-	if hi == lo {
+	if geom.ExactEq(hi, lo) {
 		return eval(lo), lo, true
 	}
 
@@ -167,7 +168,7 @@ func RelaxedScanContext(ctx context.Context, data *trajectory.Dataset, q *trajec
 		out = append(out, RelaxedResult{TrajID: tr.ID, Dissim: d, Offset: off})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dissim != out[j].Dissim {
+		if !geom.ExactEq(out[i].Dissim, out[j].Dissim) {
 			return out[i].Dissim < out[j].Dissim
 		}
 		return out[i].TrajID < out[j].TrajID

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"mstsearch/internal/debugassert"
 	"mstsearch/internal/dissim"
 	"mstsearch/internal/geom"
 	"mstsearch/internal/index"
@@ -182,6 +183,12 @@ type searcher struct {
 	degradeDist float64
 
 	segTraj trajectory.Trajectory // reusable 2-sample wrapper
+
+	// lastPop tracks the best-first monotonicity invariant under the
+	// debugassert build tag: MINDIST values must leave the heap in
+	// non-decreasing order (distances are >= 0, so the zero value is a
+	// valid floor).
+	lastPop float64
 }
 
 // Search runs BFMSTSearch on the tree for query trajectory q during
@@ -267,6 +274,12 @@ func (s *searcher) run() error {
 		}
 
 		it := heap.Pop(&s.queue).(queueItem)
+		if debugassert.Enabled {
+			debugassert.Assertf(it.dist >= s.lastPop,
+				"best-first order violated: popped MINDIST %v after %v (page %d)",
+				it.dist, s.lastPop, it.page)
+			s.lastPop = it.dist
+		}
 
 		// Heuristic 2: MINDISSIMINC test. Because nodes pop in MINDIST
 		// order, a positive test terminates the whole search (paper lines
@@ -388,6 +401,9 @@ func (s *searcher) updateCandidate(c *candidate, nodeDist float64) {
 	if c.partial.Complete() {
 		v := c.partial.Known()
 		c.lo, c.hi = v.Lower(), v.Upper()
+		if debugassert.Enabled {
+			assertBounds(c)
+		}
 		c.state = stateCompleted
 		s.stats.Completed++
 		s.tauDirty = true
@@ -407,10 +423,22 @@ func (s *searcher) updateCandidate(c *candidate, nodeDist float64) {
 			s.tauDirty = true
 		}
 	}
+	if debugassert.Enabled {
+		assertBounds(c)
+	}
 	if !s.opts.DisableHeuristic1 && c.lo > s.threshold() {
 		c.state = stateRejected
 		s.stats.Rejected++
 	}
+}
+
+// assertBounds checks the §4.4 certified-interval ordering lo <= hi
+// (OPTDISSIM <= PESDISSIM), with relative slack for round-off between
+// the independently computed bound formulas.
+func assertBounds(c *candidate) {
+	slack := 1e-9 * (1 + math.Abs(c.hi))
+	debugassert.Assertf(c.lo <= c.hi+slack,
+		"candidate %d certified bounds inverted: lo %v > hi %v", c.id, c.lo, c.hi)
 }
 
 // threshold returns τ: the k-th smallest certified upper bound over all
@@ -479,7 +507,7 @@ func (s *searcher) finalize() []Result {
 	sort.Slice(done, func(i, j int) bool {
 		vi := s.midpoint(done[i])
 		vj := s.midpoint(done[j])
-		if vi != vj {
+		if !geom.ExactEq(vi, vj) {
 			return vi < vj
 		}
 		return done[i].id < done[j].id
@@ -509,7 +537,7 @@ func (s *searcher) finalize() []Result {
 		sort.Slice(done, func(i, j int) bool {
 			vi := s.midpoint(done[i])
 			vj := s.midpoint(done[j])
-			if vi != vj {
+			if !geom.ExactEq(vi, vj) {
 				return vi < vj
 			}
 			return done[i].id < done[j].id
@@ -571,6 +599,14 @@ func (s *searcher) refineExact(c *candidate) {
 		return
 	}
 	if v, ok := dissim.Exact(s.q, tr, s.t1, s.t2); ok {
+		if debugassert.Enabled {
+			// The exact DISSIM must fall inside the interval the search
+			// certified for the candidate (lower <= exact <= upper).
+			slack := 1e-7 * (1 + math.Abs(v))
+			debugassert.Assertf(c.lo-slack <= v && v <= c.hi+slack,
+				"exact DISSIM %v of candidate %d outside certified interval [%v, %v]",
+				v, c.id, c.lo, c.hi)
+		}
 		c.lo, c.hi = v, v
 		s.stats.ExactRefined++
 	}

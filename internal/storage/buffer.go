@@ -5,6 +5,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"time"
+
+	"mstsearch/internal/debugassert"
 )
 
 // BufferPool is an LRU write-back page cache layered over any Pager. It
@@ -178,6 +180,21 @@ func (b *BufferPool) evictIfFull() error {
 		if fr.dirty {
 			if err := b.inner.Write(fr.id, fr.data); err != nil {
 				return err
+			}
+		} else if debugassert.Enabled {
+			// Sanitizer check: a clean frame leaving the pool must still
+			// match the inner pager's authoritative checksum — anything
+			// else is in-memory corruption of the cached copy or a lost
+			// dirty bit, both of which would vanish silently with the
+			// eviction. Pagers without an authoritative CRC (e.g. fault
+			// injectors) are skipped.
+			if ck, ok := b.inner.(Checksummer); ok {
+				if want, known := ck.PageChecksum(fr.id); known {
+					got := crc32.ChecksumIEEE(fr.data)
+					debugassert.Assertf(got == want,
+						"evicting clean frame for page %d with CRC %08x; inner pager has %08x",
+						fr.id, got, want)
+				}
 			}
 		}
 		b.lru.Remove(el)

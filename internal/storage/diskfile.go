@@ -43,13 +43,17 @@ const (
 // ErrBadDiskFile reports an unrecognizable page file.
 var ErrBadDiskFile = errors.New("storage: not a page file")
 
+// ErrPageTooSmall reports a configured page size too small to hold the
+// on-disk slot header.
+var ErrPageTooSmall = errors.New("storage: page size below header size")
+
 // CreateDiskFile creates (truncating) a page file at path.
 func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
 	if pageSize < diskHeaderSize {
-		return nil, fmt.Errorf("storage: page size %d below header size", pageSize)
+		return nil, fmt.Errorf("page size %d: %w", pageSize, ErrPageTooSmall)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

@@ -40,6 +40,7 @@ const DefaultPageSize = 4096
 var (
 	ErrPageOutOfRange = errors.New("storage: page id out of range")
 	ErrBadPageSize    = errors.New("storage: payload size != page size")
+	ErrFileFull       = errors.New("storage: page file full")
 )
 
 // ErrPageCorrupt reports a page whose payload failed checksum
@@ -138,7 +139,7 @@ func (f *File) SizeBytes() int64 { return int64(len(f.pages)) * int64(f.pageSize
 // Alloc implements Pager.
 func (f *File) Alloc() (PageID, error) {
 	if len(f.pages) >= int(NilPage) {
-		return NilPage, errors.New("storage: page file full")
+		return NilPage, ErrFileFull
 	}
 	page := make([]byte, f.pageSize)
 	f.pages = append(f.pages, page)

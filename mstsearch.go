@@ -269,7 +269,8 @@ func (db *DB) Add(tr Trajectory) error {
 
 // invalidate drops caches made stale by a mutation: the dataset view, the
 // selectivity histogram, and the warm buffer pool (whose frames no longer
-// reflect the rewritten index pages).
+// reflect the rewritten index pages). Callers must hold db.mu (write
+// side); invalidate touches db.warm and db.file under that lock.
 func (db *DB) invalidate() {
 	db.dsMu.Lock()
 	db.ds = nil
@@ -430,6 +431,8 @@ func (db *DB) NumSegments() int {
 	return db.numSegments()
 }
 
+// numSegments counts indexed segments; callers must hold db.mu (either
+// side).
 func (db *DB) numSegments() int {
 	n := 0
 	for i := range db.trajs {

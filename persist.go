@@ -123,6 +123,8 @@ func (db *DB) Save(path string) error {
 }
 
 // indexMeta returns the active tree's root metadata in a common shape.
+// Callers must hold db.mu (either side): it reads db.kind and the tree
+// handles.
 func (db *DB) indexMeta() rtree.Meta {
 	switch db.kind {
 	case TBTree:
