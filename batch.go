@@ -1,0 +1,91 @@
+package mstsearch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"mstsearch/internal/storage"
+)
+
+// BatchQuery is one query of a KMostSimilarBatch call: the k most similar
+// stored trajectories to Q over [T1, T2].
+type BatchQuery struct {
+	Q      *Trajectory
+	T1, T2 float64
+	K      int
+}
+
+// BatchResult is one query's outcome within a batch. Failures are
+// isolated per query: Err is set for this slot only and the rest of the
+// batch still executes (and Results/Stats are valid whenever Err is nil).
+type BatchResult struct {
+	Results []Result
+	Stats   SearchStats
+	Err     error
+}
+
+// KMostSimilarBatch answers many k-MST queries as one unit of work on a
+// bounded worker pool — the serving-path executor for query-heavy
+// workloads. Results come back in input order.
+//
+// Concurrency: opts.Parallelism caps the worker goroutines (<= 0 means
+// GOMAXPROCS; the cap never exceeds the batch size). Every query of the
+// batch reads through one shared warm buffer — the DB's warm pool when
+// EnableWarmBuffer is on, otherwise a batch-local striped pool with the
+// paper's capacity policy — so repeated page accesses across the batch hit
+// cache instead of re-paying physical reads. Results are bit-identical to
+// running each query serially with the same Options: workers never share
+// mutable search state, and intra-query parallel refinement is
+// admission-deterministic.
+//
+// Snapshot semantics: the batch holds the DB's read lock for its whole
+// duration, so mutations (Add, AppendSample, Recover) wait for the batch
+// and every query in it sees the same index version.
+//
+// Cancellation: ctx aborts queries between node visits; already-finished
+// slots keep their results and canceled slots report an error wrapping
+// ErrCanceled.
+func (db *DB) KMostSimilarBatch(ctx context.Context, queries []BatchQuery, opts Options) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	bp := db.queryPager()
+	if db.warm == nil {
+		// queryPager built a plain per-query pool; a batch wants one warm
+		// shared pool across its workers instead.
+		bp = storage.NewSharedPaperPool(db.wrappedFile())
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				bq := queries[i]
+				res, st, err := db.kMostSimilarOn(ctx, bp, bq.Q, bq.T1, bq.T2, bq.K, opts)
+				out[i] = BatchResult{Results: res, Stats: st, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

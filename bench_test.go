@@ -5,8 +5,11 @@
 package mstsearch
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	"mstsearch/internal/experiments"
 	"mstsearch/internal/index"
@@ -374,4 +377,61 @@ func BenchmarkConcurrentQueries(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkKMostSimilarBatch measures the batch executor's throughput on a
+// Fig. 10 Q1-shaped workload (5% windows, k = 1) at different worker
+// counts — the serving-path number the striped pool and batch engine
+// exist for. Note this container may be scheduled on a single CPU; on one
+// core the parallel legs measure coordination overhead rather than
+// speedup, so read the ratio between legs on multi-core hardware.
+func BenchmarkKMostSimilarBatch(b *testing.B) {
+	data := experiments.SyntheticDataset(50, benchSamples, 1)
+	db, err := NewDB(RTree3D, data.Trajs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.EnableWarmBuffer()
+	rng := rand.New(rand.NewSource(7))
+	const nq = 32
+	queries := make([]BatchQuery, nq)
+	held := make([]Trajectory, nq)
+	for i := range queries {
+		src := &data.Trajs[rng.Intn(len(data.Trajs))]
+		t1 := rng.Float64() * 0.9
+		t2 := t1 + 0.05
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			b.Fatalf("query window [%g, %g] outside dataset span", t1, t2)
+		}
+		held[i] = sl.Clone()
+		held[i].ID = 0
+		queries[i] = BatchQuery{Q: &held[i], T1: t1, T2: t2, K: 1}
+	}
+	// One untimed pass warms the shared buffer so every leg measures the
+	// same steady state.
+	for _, br := range db.KMostSimilarBatch(context.Background(), queries,
+		Options{ExactRefine: true, Refine: 1, Parallelism: 1}) {
+		if br.Err != nil {
+			b.Fatal(br.Err)
+		}
+	}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			opts := Options{ExactRefine: true, Refine: 1, Parallelism: par}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for _, br := range db.KMostSimilarBatch(context.Background(), queries, opts) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)*nq/elapsed, "queries/s")
+			}
+		})
+	}
 }

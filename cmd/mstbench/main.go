@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mstbench -exp table2|fig8|fig9|q1|q2|q3|all [flags]
+//	mstbench -exp table2|fig8|fig9|q1|q2|q3|ablation|batch|all [flags]
 //
 // The default flags run a scaled-down study that finishes in minutes;
 // -paper switches to the published scale (273 trucks / 112K segments for
@@ -13,17 +13,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"mstsearch"
 	"mstsearch/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation or all")
+		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation, batch or all")
 		paper   = flag.Bool("paper", false, "run at the paper's full scale (slow)")
 		scale   = flag.Float64("scale", 0.25, "Trucks dataset scale in (0,1] for fig8/fig9/table2")
 		samples = flag.Int("samples", 501, "samples per synthetic object (paper: 2001)")
@@ -77,6 +82,15 @@ func main() {
 		experiments.PrintQuality(os.Stdout, rows)
 		fmt.Println()
 	}
+	if run("batch") {
+		any = true
+		card, nq := 50, *queries
+		if *paper {
+			card = 500
+		}
+		runBatchExperiment(card, *samples, nq, *seed)
+		fmt.Println()
+	}
 	if run("ablation") {
 		any = true
 		card := 100
@@ -119,6 +133,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runBatchExperiment measures KMostSimilarBatch throughput across worker
+// counts on a Fig. 10 Q1-shaped workload (5% windows, k = 1) with the warm
+// shared buffer enabled. It lives here rather than internal/experiments
+// because it drives the public facade (the experiments package sits below
+// it in the import graph). Speedup is relative to the one-worker leg; on a
+// single-CPU machine expect ~1.0× across the board.
+func runBatchExperiment(card, samples, nq int, seed int64) {
+	data := experiments.SyntheticDataset(card, samples, seed)
+	db, err := mstsearch.NewDB(mstsearch.RTree3D, data.Trajs)
+	fail(err)
+	db.EnableWarmBuffer()
+
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]mstsearch.BatchQuery, nq)
+	held := make([]mstsearch.Trajectory, nq)
+	for i := range queries {
+		src := &data.Trajs[rng.Intn(len(data.Trajs))]
+		t1 := rng.Float64() * 0.9
+		t2 := t1 + 0.05
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			fail(fmt.Errorf("batch: query window [%g, %g] outside dataset span", t1, t2))
+		}
+		held[i] = sl.Clone()
+		held[i].ID = 0
+		queries[i] = mstsearch.BatchQuery{Q: &held[i], T1: t1, T2: t2, K: 1}
+	}
+
+	opts := mstsearch.Options{ExactRefine: true, Refine: 1}
+	// Untimed warmup so every leg sees the same buffer state.
+	for _, br := range db.KMostSimilarBatch(context.Background(), queries, opts) {
+		fail(br.Err)
+	}
+
+	fmt.Printf("Batch k-MST executor: S%04d, %d samples/object, %d queries (5%% windows, k=1), GOMAXPROCS=%d\n",
+		card, samples, nq, runtime.GOMAXPROCS(0))
+	fmt.Println("workers   total(ms)   queries/s   speedup")
+	var base float64
+	for _, par := range []int{1, 2, 4, 8} {
+		o := opts
+		o.Parallelism = par
+		start := time.Now()
+		for _, br := range db.KMostSimilarBatch(context.Background(), queries, o) {
+			fail(br.Err)
+		}
+		elapsed := time.Since(start)
+		qps := float64(nq) / elapsed.Seconds()
+		if par == 1 {
+			base = qps
+		}
+		fmt.Printf("%7d %11.2f %11.0f %8.2fx\n", par, float64(elapsed.Microseconds())/1000, qps, qps/base)
 	}
 }
 

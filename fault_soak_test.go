@@ -306,3 +306,97 @@ func TestRecoverAfterCorruption(t *testing.T) {
 		})
 	}
 }
+
+// TestWarmStripedPoolSoak re-runs the hardening contract through the PR's
+// concurrent engine: ONE fault-injecting pager shared by every query via
+// the warm striped buffer, hammered by ~300 mixed serial and batched
+// (Parallelism = 4) queries. The contract is unchanged from the per-query
+// soak — every query ends correct (oracle-checked) or with a typed error,
+// never with silently wrong bytes — but now all of it flows through shared
+// shards under concurrency.
+func TestWarmStripedPoolSoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(177))
+	trajs := fleet(rng, 60, 40)
+	db, err := NewDB(TBTree, trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := &storage.FaultyPager{
+		Seed:          177,
+		ReadFaultRate: 0.005,
+		Transient:     true,
+		BitFlipRate:   0.005,
+	}
+	db.SetPagerWrapper(func(p Pager) Pager {
+		faulty.Inner = p
+		return faulty
+	})
+	db.EnableWarmBuffer()
+
+	newQuery := func() (Trajectory, float64, float64, int) {
+		src := &trajs[rng.Intn(len(trajs))]
+		t1 := rng.Float64() * 4
+		t2 := t1 + 2 + rng.Float64()*4
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			t.Fatalf("window [%g, %g] outside fleet span", t1, t2)
+		}
+		q := sl.Clone()
+		q.ID = 0
+		return q, t1, t2, 1 + rng.Intn(4)
+	}
+	check := func(iter int, q *Trajectory, t1, t2 float64, k int, res []Result, err error) (ok, failed bool) {
+		if err != nil {
+			if !typedQueryError(err) {
+				t.Fatalf("iter %d: untyped error %v", iter, err)
+			}
+			return false, true
+		}
+		checkExact(t, iter, res, linearTopK(trajs, q, t1, t2, k))
+		return true, false
+	}
+
+	var correct, failed int
+	var retries uint64
+	opts := Options{ExactRefine: true, Refine: 1, Parallelism: 4}
+	for i := 0; i < 25; i++ {
+		// Eight serial queries...
+		for j := 0; j < 8; j++ {
+			q, t1, t2, k := newQuery()
+			res, st, err := db.KMostSimilarOpts(&q, t1, t2, k, opts)
+			retries += st.Retries
+			c, f := check(i*100+j, &q, t1, t2, k, res, err)
+			if c {
+				correct++
+			}
+			if f {
+				failed++
+			}
+		}
+		// ...then four more as one batch on four workers.
+		batch := make([]BatchQuery, 4)
+		qs := make([]Trajectory, 4)
+		for j := range batch {
+			q, t1, t2, k := newQuery()
+			qs[j] = q
+			batch[j] = BatchQuery{Q: &qs[j], T1: t1, T2: t2, K: k}
+		}
+		for j, br := range db.KMostSimilarBatch(context.Background(), batch, opts) {
+			c, f := check(i*100+50+j, batch[j].Q, batch[j].T1, batch[j].T2, batch[j].K, br.Results, br.Err)
+			if c {
+				correct++
+			}
+			if f {
+				failed++
+			}
+		}
+	}
+	if correct == 0 {
+		t.Fatal("soak never produced a correct result")
+	}
+	if retries == 0 {
+		t.Fatal("fault injection never fired: the soak exercised nothing")
+	}
+	t.Logf("warm striped soak: %d correct, %d typed failures, %d retries absorbed",
+		correct, failed, retries)
+}

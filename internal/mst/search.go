@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mstsearch/internal/debugassert"
 	"mstsearch/internal/dissim"
@@ -71,6 +72,14 @@ type Options struct {
 	// IOReads reports the physical reads attributed to this search so far —
 	// typically a closure over the query's buffer-pool miss counter.
 	IOReads func() uint64
+	// Parallelism bounds the worker goroutines of the §4.4 exact-refinement
+	// step: the independent exact-DISSIM integrals of the candidates
+	// selected for refinement are computed concurrently, while candidate
+	// selection and admission stay on the main goroutine. Workers only
+	// compute pure functions of immutable inputs and their values are
+	// applied in the serial order, so results, stats, and Certified flags
+	// are bit-identical to the serial search. Values <= 1 mean serial.
+	Parallelism int
 }
 
 func (o *Options) normalize() {
@@ -529,11 +538,13 @@ func (s *searcher) finalize() []Result {
 			bIdx = len(done) - 1
 		}
 		boundary := done[bIdx].hi
+		var toRefine []*candidate
 		for _, c := range done {
 			if c.lo <= boundary && c.err() > 0 {
-				s.refineExact(c)
+				toRefine = append(toRefine, c)
 			}
 		}
+		s.refineAll(toRefine)
 		sort.Slice(done, func(i, j int) bool {
 			vi := s.midpoint(done[i])
 			vj := s.midpoint(done[j])
@@ -592,6 +603,56 @@ func (s *searcher) midpoint(c *candidate) float64 { return (c.lo + c.hi) / 2 }
 
 func (c *candidate) err() float64 { return (c.hi - c.lo) / 2 }
 
+// refineAll recomputes the exact DISSIM of the selected candidates
+// (§4.4 post-processing), serially or on a bounded worker pool
+// (Options.Parallelism). The parallel path keeps the serial semantics
+// bit-identical: each exact integral is an independent pure function of
+// the immutable query, dataset, and period, workers only compute, and the
+// main goroutine applies the values in the candidates' serial order — so
+// the refined intervals, ExactRefined count, and final ranking cannot
+// depend on goroutine scheduling.
+func (s *searcher) refineAll(cands []*candidate) {
+	workers := s.opts.Parallelism
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for _, c := range cands {
+			s.refineExact(c)
+		}
+		return
+	}
+	type exactVal struct {
+		v  float64
+		ok bool
+	}
+	vals := make([]exactVal, len(cands))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if tr := s.opts.Data.Get(cands[i].id); tr != nil {
+					v, ok := dissim.Exact(s.q, tr, s.t1, s.t2)
+					vals[i] = exactVal{v: v, ok: ok}
+				}
+			}
+		}()
+	}
+	for i := range cands {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, c := range cands {
+		if vals[i].ok {
+			s.applyExact(c, vals[i].v)
+		}
+	}
+}
+
 // refineExact replaces the candidate's interval with the exact DISSIM.
 func (s *searcher) refineExact(c *candidate) {
 	tr := s.opts.Data.Get(c.id)
@@ -599,15 +660,21 @@ func (s *searcher) refineExact(c *candidate) {
 		return
 	}
 	if v, ok := dissim.Exact(s.q, tr, s.t1, s.t2); ok {
-		if debugassert.Enabled {
-			// The exact DISSIM must fall inside the interval the search
-			// certified for the candidate (lower <= exact <= upper).
-			slack := 1e-7 * (1 + math.Abs(v))
-			debugassert.Assertf(c.lo-slack <= v && v <= c.hi+slack,
-				"exact DISSIM %v of candidate %d outside certified interval [%v, %v]",
-				v, c.id, c.lo, c.hi)
-		}
-		c.lo, c.hi = v, v
-		s.stats.ExactRefined++
+		s.applyExact(c, v)
 	}
+}
+
+// applyExact collapses the candidate's certified interval onto the exact
+// value v — the single admission point of both refinement paths.
+func (s *searcher) applyExact(c *candidate, v float64) {
+	if debugassert.Enabled {
+		// The exact DISSIM must fall inside the interval the search
+		// certified for the candidate (lower <= exact <= upper).
+		slack := 1e-7 * (1 + math.Abs(v))
+		debugassert.Assertf(c.lo-slack <= v && v <= c.hi+slack,
+			"exact DISSIM %v of candidate %d outside certified interval [%v, %v]",
+			v, c.id, c.lo, c.hi)
+	}
+	c.lo, c.hi = v, v
+	s.stats.ExactRefined++
 }

@@ -390,3 +390,61 @@ func TestSearchOnBulkLoadedTree(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelRefinementDeterminism pins the Options.Parallelism contract
+// at the algorithm layer: for the same query, a search whose exact
+// refinement runs on a worker pool must return results bit-identical to
+// the serial search — same IDs, same float bits, same Certified flags —
+// and identical admission statistics. Workers only compute DISSIM
+// integrals; the admission order stays sequential, so no interleaving can
+// change what is accepted.
+func TestParallelRefinementDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	data := makeDataset(rng, 60, 100)
+	vmax := data.MaxSpeed()
+	trees := map[string]index.Tree{
+		"rtree":   buildRTree(t, data, 1024),
+		"tbtree":  buildTBTree(t, data, 1024),
+		"strtree": buildSTRTree(t, data, 1024),
+	}
+	for iter := 0; iter < 15; iter++ {
+		src := &data.Trajs[rng.Intn(data.Len())]
+		t1 := rng.Float64() * 50
+		t2 := t1 + 10 + rng.Float64()*40
+		q := queryFrom(rng, src, t1, t2)
+		k := 1 + rng.Intn(6)
+		for name, tree := range trees {
+			base := Options{K: k, Vmax: vmax + q.MaxSpeed(), Data: data}
+			serOpts, parOpts := base, base
+			serOpts.Parallelism = 1
+			parOpts.Parallelism = 4
+			ser, serStats, err := Search(tree, &q, t1, t2, serOpts)
+			if err != nil {
+				t.Fatalf("%s iter %d serial: %v", name, iter, err)
+			}
+			par, parStats, err := Search(tree, &q, t1, t2, parOpts)
+			if err != nil {
+				t.Fatalf("%s iter %d parallel: %v", name, iter, err)
+			}
+			if len(ser) != len(par) {
+				t.Fatalf("%s iter %d: serial %d results, parallel %d", name, iter, len(ser), len(par))
+			}
+			for i := range ser {
+				if ser[i].TrajID != par[i].TrajID ||
+					math.Float64bits(ser[i].Dissim) != math.Float64bits(par[i].Dissim) ||
+					math.Float64bits(ser[i].Err) != math.Float64bits(par[i].Err) ||
+					ser[i].Certified != par[i].Certified {
+					t.Fatalf("%s iter %d rank %d: serial %+v != parallel %+v",
+						name, iter, i, ser[i], par[i])
+				}
+			}
+			if serStats != parStats {
+				t.Fatalf("%s iter %d: stats diverged:\nserial   %+v\nparallel %+v",
+					name, iter, serStats, parStats)
+			}
+			if serStats.ExactRefined == 0 && iter == 0 {
+				t.Logf("%s iter %d: no candidate needed refinement", name, iter)
+			}
+		}
+	}
+}

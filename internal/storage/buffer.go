@@ -55,15 +55,24 @@ func NewBufferPool(inner Pager, capacity int) *BufferPool {
 	}
 }
 
+// paperCapacity is the paper's buffer policy (§5): 10 % of the index's
+// page count, capped at 1000 pages and at least one page.
+func paperCapacity(numPages int) int {
+	c := numPages / 10
+	if c > 1000 {
+		c = 1000
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // NewPaperBuffer applies the paper's buffering policy to an existing
 // pager: capacity = 10 % of its current page count, capped at 1000 pages
 // (and at least one page).
 func NewPaperBuffer(inner Pager) *BufferPool {
-	c := inner.NumPages() / 10
-	if c > 1000 {
-		c = 1000
-	}
-	return NewBufferPool(inner, c)
+	return NewBufferPool(inner, paperCapacity(inner.NumPages()))
 }
 
 // PageSize implements Pager.
@@ -96,15 +105,17 @@ func retryable(err error) bool {
 	return errors.Is(err, ErrTransient) || errors.Is(err, ErrPageCorrupt{})
 }
 
-// readInner pulls a page from the wrapped pager with verification and
-// bounded retry. When the inner chain exposes an authoritative checksum
-// (Checksummer), the payload is verified against it, catching corruption
-// introduced between the pool and the page's owner.
-func (b *BufferPool) readInner(id PageID) ([]byte, error) {
+// readVerified pulls a page from a pager with verification and bounded
+// retry — the shared miss path of BufferPool and StripedPool. When the
+// inner chain exposes an authoritative checksum (Checksummer), the payload
+// is verified against it, catching corruption introduced between the pool
+// and the page's owner. onRetry is invoked once per retried attempt so the
+// caller can account for it.
+func readVerified(inner Pager, id PageID, onRetry func()) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
-		src, err := b.inner.Read(id)
+		src, err := inner.Read(id)
 		if err == nil {
-			if ck, ok := b.inner.(Checksummer); ok {
+			if ck, ok := inner.(Checksummer); ok {
 				if want, known := ck.PageChecksum(id); known && crc32.ChecksumIEEE(src) != want {
 					err = ErrPageCorrupt{Page: id}
 				}
@@ -116,9 +127,15 @@ func (b *BufferPool) readInner(id PageID) ([]byte, error) {
 		if attempt >= maxReadRetries || !retryable(err) {
 			return nil, err
 		}
-		b.stats.Retries++
+		onRetry()
 		time.Sleep(retryBackoff << attempt)
 	}
+}
+
+// readInner pulls a page from the wrapped pager with verification and
+// bounded retry.
+func (b *BufferPool) readInner(id PageID) ([]byte, error) {
+	return readVerified(b.inner, id, func() { b.stats.Retries++ })
 }
 
 // Read implements Pager. The returned slice aliases the cached frame and

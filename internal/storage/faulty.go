@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // ErrInjected is the error produced by a FaultyPager's triggered faults.
@@ -37,8 +38,13 @@ var ErrTransient = fmt.Errorf("%w (transient)", ErrInjected)
 // it, the first fault on a page kills that page permanently (subsequent
 // reads of it keep failing with ErrInjected).
 //
-// A FaultyPager is not safe for concurrent use; give each goroutine its
-// own instance.
+// A FaultyPager is safe for concurrent use: the fault stream and the
+// dead-page set sit behind an internal mutex, so one instance may serve a
+// shared (striped) pool hammered by parallel queries. The interleaving of
+// concurrent operations onto the seeded fault stream is scheduling-
+// dependent; for operation-exact reproducibility keep the pager
+// single-goroutine (e.g. one instance per query, as SetPagerWrapper
+// builds them).
 type FaultyPager struct {
 	Inner Pager
 
@@ -60,6 +66,8 @@ type FaultyPager struct {
 	// one random bit flipped (in a copy; the stored page is untouched).
 	BitFlipRate float64
 
+	// mu serializes the fault stream state below.
+	mu     sync.Mutex
 	rng    *rand.Rand
 	dead   map[PageID]bool
 	reads  uint64
@@ -84,6 +92,7 @@ func (f *FaultyPager) PageChecksum(id PageID) (uint32, bool) {
 	return 0, false
 }
 
+// random returns the seeded fault stream. Callers must hold f.mu.
 func (f *FaultyPager) random() *rand.Rand {
 	if f.rng == nil {
 		f.rng = rand.New(rand.NewSource(f.Seed))
@@ -93,6 +102,8 @@ func (f *FaultyPager) random() *rand.Rand {
 
 // Read implements Pager, injecting the configured faults.
 func (f *FaultyPager) Read(id PageID) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.reads++
 	if f.FailReadAt != 0 && (f.reads == f.FailReadAt || (f.Permanent && f.reads > f.FailReadAt)) {
 		return nil, ErrInjected
@@ -126,6 +137,8 @@ func (f *FaultyPager) Read(id PageID) ([]byte, error) {
 
 // Write implements Pager, failing at the configured operation index.
 func (f *FaultyPager) Write(id PageID, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.writes++
 	if f.FailWriteAt != 0 && (f.writes == f.FailWriteAt || (f.Permanent && f.writes > f.FailWriteAt)) {
 		return ErrInjected

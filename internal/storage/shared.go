@@ -1,95 +1,24 @@
 package storage
 
-import "sync"
+// SharedPool is the shared pager queries run through: a single warm page
+// cache safely usable by concurrent readers, the way a database keeps one
+// buffer pool across its whole workload rather than a cold cache per
+// query. It is the striped pool — N independent lock shards keyed by
+// PageID with per-shard LRU segments — so concurrent readers of pages in
+// distinct shards never contend on a latch (the original SharedPool
+// funnelled every page access through one global mutex). Reads copy the
+// frame out under the shard latch, so callers may hold the returned slice
+// across further pool calls.
+type SharedPool = StripedPool
 
-// SharedPool is a latch-protected BufferPool: a single warm page cache
-// safely usable by concurrent readers (queries), the way a database keeps
-// one buffer pool across its whole workload rather than a cold cache per
-// query. Reads copy the frame out under the latch, so callers may hold the
-// returned slice across further pool calls.
-type SharedPool struct {
-	mu   sync.Mutex
-	pool *BufferPool
-}
-
-// NewSharedPool wraps a fresh BufferPool of the given capacity over any
-// pager.
+// NewSharedPool wraps a striped pool of the given total capacity over any
+// pager, with the default shard policy.
 func NewSharedPool(inner Pager, capacity int) *SharedPool {
-	return &SharedPool{pool: NewBufferPool(inner, capacity)}
+	return NewStripedPool(inner, capacity, 0)
 }
 
 // NewSharedPaperPool applies the paper's buffer policy (10 %, ≤1000
-// pages).
+// pages) across the default shard layout.
 func NewSharedPaperPool(inner Pager) *SharedPool {
-	return &SharedPool{pool: NewPaperBuffer(inner)}
+	return NewStripedPool(inner, paperCapacity(inner.NumPages()), 0)
 }
-
-// PageSize implements Pager.
-func (s *SharedPool) PageSize() int {
-	//lint:ignore lockguard pool is assigned once at construction and the page size never changes; latch-free by design
-	return s.pool.PageSize()
-}
-
-// NumPages implements Pager.
-func (s *SharedPool) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.NumPages()
-}
-
-// Capacity returns the page capacity.
-func (s *SharedPool) Capacity() int {
-	//lint:ignore lockguard pool is assigned once at construction and the capacity never changes; latch-free by design
-	return s.pool.Capacity()
-}
-
-// Alloc implements Pager.
-func (s *SharedPool) Alloc() (PageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.Alloc()
-}
-
-// Read implements Pager. Unlike BufferPool.Read, the returned slice is a
-// private copy and remains valid indefinitely.
-func (s *SharedPool) Read(id PageID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := s.pool.Read(id)
-	if err != nil {
-		return nil, err
-	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	return cp, nil
-}
-
-// Write implements Pager.
-func (s *SharedPool) Write(id PageID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.Write(id, data)
-}
-
-// Flush persists dirty frames.
-func (s *SharedPool) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.Flush()
-}
-
-// Stats snapshots the hit/miss and physical counters.
-func (s *SharedPool) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.Stats()
-}
-
-// ResetStats zeroes the counters.
-func (s *SharedPool) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pool.ResetStats()
-}
-
-var _ Pager = (*SharedPool)(nil)

@@ -1,0 +1,314 @@
+package storage
+
+import (
+	"container/list"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"mstsearch/internal/debugassert"
+)
+
+// DefaultStripes is the default shard-count ceiling of a StripedPool. The
+// effective shard count is the largest power of two not exceeding
+// min(DefaultStripes, capacity), so small pools never fragment their
+// capacity below one page per shard.
+const DefaultStripes = 16
+
+// StripedPool is a latch-striped shared buffer pool: one warm page cache
+// safely usable by every concurrent query, partitioned into independent
+// lock shards keyed by PageID. Each shard owns a private LRU segment and
+// its slice of the total capacity (the per-shard capacities sum to the
+// requested capacity, e.g. the paper's 10 % rule), so concurrent readers
+// of pages in distinct shards never touch the same latch — the read-mostly
+// fast path a serving workload needs. Because a page id maps to exactly
+// one shard, all inner-pager I/O for a given page is serialized by that
+// shard's latch; different shards only ever access distinct pages
+// concurrently, which File and DiskFile support.
+//
+// I/O counters are atomics, so Stats and ResetStats are exact and never
+// race with in-flight readers. Reads copy the frame out under the shard
+// latch: the returned slice is private to the caller and remains valid
+// indefinitely.
+type StripedPool struct {
+	inner    Pager
+	pageSize int
+	capacity int
+	mask     uint32 // len(shards) - 1; len(shards) is a power of two
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	retries atomic.Uint64
+
+	shards []poolShard
+
+	// structMu serializes structural growth of the inner pager: Alloc may
+	// reallocate the page table underneath concurrent readers, so it takes
+	// the write side while every other operation holds the read side.
+	// Declared last: it guards the *inner pager's* structure, not the
+	// fields above (which are either immutable after construction, atomic,
+	// or latched per shard).
+	structMu sync.RWMutex
+}
+
+// poolShard is one lock stripe: a mutex plus the LRU segment of the pages
+// whose ids hash to it.
+type poolShard struct {
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; values are *frame
+	frames   map[PageID]*list.Element
+	capacity int
+}
+
+// NewStripedPool creates a striped pool over inner with the given total
+// page capacity (minimum 1) split across stripes lock shards. stripes <= 0
+// selects the default policy; any value is clamped to a power of two no
+// larger than the capacity, so every shard holds at least one page.
+func NewStripedPool(inner Pager, capacity, stripes int) *StripedPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if stripes <= 0 {
+		stripes = DefaultStripes
+	}
+	if stripes > capacity {
+		stripes = capacity
+	}
+	// Round down to a power of two for cheap masking.
+	n := 1
+	for n*2 <= stripes {
+		n *= 2
+	}
+	p := &StripedPool{
+		inner:    inner,
+		pageSize: inner.PageSize(),
+		capacity: capacity,
+		mask:     uint32(n - 1),
+		shards:   make([]poolShard, n),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.capacity = capacity / n
+		if i < capacity%n {
+			sh.capacity++
+		}
+		sh.lru = list.New()
+		sh.frames = make(map[PageID]*list.Element, sh.capacity)
+	}
+	return p
+}
+
+// shardFor returns the lock stripe owning the page.
+func (p *StripedPool) shardFor(id PageID) *poolShard {
+	return &p.shards[uint32(id)&p.mask]
+}
+
+// PageSize implements Pager. The page size is fixed at construction, so
+// the accessor is latch-free.
+func (p *StripedPool) PageSize() int { return p.pageSize }
+
+// Capacity returns the total page capacity (the sum of the per-shard LRU
+// segments); immutable after construction.
+func (p *StripedPool) Capacity() int { return p.capacity }
+
+// Stripes returns the number of lock shards.
+func (p *StripedPool) Stripes() int { return len(p.shards) }
+
+// NumPages implements Pager.
+func (p *StripedPool) NumPages() int {
+	p.structMu.RLock()
+	defer p.structMu.RUnlock()
+	return p.inner.NumPages()
+}
+
+// Cached returns the number of currently resident frames across all
+// shards — by construction never more than Capacity.
+func (p *StripedPool) Cached() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Read implements Pager. The returned slice is a private copy and remains
+// valid indefinitely. Concurrent reads of pages in distinct shards
+// proceed fully in parallel.
+func (p *StripedPool) Read(id PageID) ([]byte, error) {
+	p.structMu.RLock()
+	defer p.structMu.RUnlock()
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
+		p.hits.Add(1)
+		sh.lru.MoveToFront(el)
+		return cloneBytes(el.Value.(*frame).data), nil
+	}
+	p.misses.Add(1)
+	src, err := readVerified(p.inner, id, func() { p.retries.Add(1) })
+	if err != nil {
+		return nil, err
+	}
+	data := cloneBytes(src)
+	if err := sh.insert(p.inner, id, data, false); err != nil {
+		return nil, err
+	}
+	return cloneBytes(data), nil
+}
+
+// Write implements Pager: the page is updated in the owning shard's cache
+// and flushed lazily (write-back), exactly like BufferPool.
+func (p *StripedPool) Write(id PageID, data []byte) error {
+	p.structMu.RLock()
+	defer p.structMu.RUnlock()
+	if len(data) != p.pageSize {
+		return ErrBadPageSize
+	}
+	if int(id) >= p.inner.NumPages() {
+		return ErrPageOutOfRange
+	}
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
+		p.hits.Add(1)
+		fr := el.Value.(*frame)
+		copy(fr.data, data)
+		fr.dirty = true
+		sh.lru.MoveToFront(el)
+		return nil
+	}
+	p.misses.Add(1)
+	return sh.insert(p.inner, id, cloneBytes(data), true)
+}
+
+// Alloc implements Pager. Growth of the inner page table is exclusive:
+// Alloc drains all in-flight shard operations (structMu write side) before
+// appending, then seeds the new page into its shard's cache dirty so
+// short-lived pages may never touch the file.
+func (p *StripedPool) Alloc() (PageID, error) {
+	p.structMu.Lock()
+	defer p.structMu.Unlock()
+	id, err := p.inner.Alloc()
+	if err != nil {
+		return NilPage, err
+	}
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.insert(p.inner, id, make([]byte, p.pageSize), true); err != nil {
+		return NilPage, err
+	}
+	return id, nil
+}
+
+// Flush persists every dirty frame, shard by shard, keeping frames cached.
+func (p *StripedPool) Flush() error {
+	p.structMu.RLock()
+	defer p.structMu.RUnlock()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		err := sh.flush(p.inner)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the pool's counters — atomics, so the snapshot is exact
+// and never races with in-flight readers — combined with the inner pager's
+// physical counters when it exposes them (File's are atomic too).
+func (p *StripedPool) Stats() Stats {
+	s := Stats{
+		Hits:    p.hits.Load(),
+		Misses:  p.misses.Load(),
+		Retries: p.retries.Load(),
+	}
+	if sp, ok := p.inner.(statsProvider); ok {
+		fs := sp.Stats()
+		s.Reads = fs.Reads
+		s.Writes = fs.Writes
+	}
+	return s
+}
+
+// ResetStats zeroes the counters, and the inner pager's when it supports
+// resetting.
+func (p *StripedPool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.retries.Store(0)
+	if rs, ok := p.inner.(interface{ ResetStats() }); ok {
+		rs.ResetStats()
+	}
+}
+
+// insert caches data (which must be a private copy) under id, evicting the
+// shard's LRU tail first if the segment is full. Callers must hold sh.mu.
+func (sh *poolShard) insert(inner Pager, id PageID, data []byte, dirty bool) error {
+	if err := sh.evictIfFull(inner); err != nil {
+		return err
+	}
+	sh.frames[id] = sh.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
+	return nil
+}
+
+// evictIfFull makes room in the shard, writing dirty victims back through
+// inner. Callers must hold sh.mu; the shard owns its pages, so the
+// write-back cannot race inner I/O for the same page from other shards.
+func (sh *poolShard) evictIfFull(inner Pager) error {
+	for sh.lru.Len() >= sh.capacity {
+		el := sh.lru.Back()
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := inner.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+		} else if debugassert.Enabled {
+			// Sanitizer check (same contract as BufferPool): a clean frame
+			// leaving the pool must still match the inner pager's
+			// authoritative checksum.
+			if ck, ok := inner.(Checksummer); ok {
+				if want, known := ck.PageChecksum(fr.id); known {
+					got := crc32.ChecksumIEEE(fr.data)
+					debugassert.Assertf(got == want,
+						"evicting clean frame for page %d with CRC %08x; inner pager has %08x",
+						fr.id, got, want)
+				}
+			}
+		}
+		sh.lru.Remove(el)
+		delete(sh.frames, fr.id)
+	}
+	return nil
+}
+
+// flush writes the shard's dirty frames back. Callers must hold sh.mu.
+func (sh *poolShard) flush(inner Pager) error {
+	for el := sh.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := inner.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// cloneBytes returns a private copy of b.
+func cloneBytes(b []byte) []byte {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
+}
+
+var _ Pager = (*StripedPool)(nil)

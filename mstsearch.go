@@ -134,6 +134,14 @@ type Options struct {
 	// MaxIOReads bounds the physical page reads (buffer misses) the query
 	// may cause (0 = unlimited); exhaustion degrades like MaxNodeAccesses.
 	MaxIOReads uint64
+	// Parallelism tunes the concurrency of the query engine: it caps the
+	// worker goroutines a KMostSimilarBatch call executes queries on, and
+	// the workers a single query uses for its exact-refinement step
+	// (§4.4), whose independent DISSIM integrals dominate refinement-heavy
+	// queries. 0 or 1 runs a single query serially; a batch treats <= 0 as
+	// GOMAXPROCS. Parallel and serial runs return bit-identical results —
+	// workers only compute, admission stays sequential.
+	Parallelism int
 }
 
 // DB is a trajectory database: an in-memory trajectory store plus a paged
@@ -179,10 +187,13 @@ type Pager = storage.Pager
 //     write or bit rot); errors.As recovers the damaged page id, and
 //     DB.Recover rebuilds the index from the trajectory store;
 //   - ErrInjected — a deliberately injected fault reached the caller
-//     (fault-injection testing only).
+//     (fault-injection testing only);
+//   - ErrBadQuery — the query trajectory does not cover the requested
+//     period, or the period itself is empty (t1 >= t2).
 var (
 	ErrCanceled = mst.ErrCanceled
 	ErrInjected = storage.ErrInjected
+	ErrBadQuery = mst.ErrBadQuery
 )
 
 // ErrPageCorrupt is the typed page-corruption error; its Page field is the
@@ -190,13 +201,18 @@ var (
 type ErrPageCorrupt = storage.ErrPageCorrupt
 
 // SetPagerWrapper installs a wrapper applied to the pager underneath every
-// subsequently built per-query buffer pool (nil removes it). It is the
-// seam for fault injection and I/O instrumentation; the warm shared buffer
-// (EnableWarmBuffer) bypasses it.
+// subsequently built buffer pool (nil removes it): each per-query pool
+// gets its own wrapper instance, and an enabled warm shared buffer is
+// rebuilt immediately over a single wrapped pager — which therefore must
+// be safe for concurrent use (FaultyPager is). It is the seam for fault
+// injection and I/O instrumentation.
 func (db *DB) SetPagerWrapper(wrap func(Pager) Pager) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.pagerWrap = wrap
+	if db.warm != nil {
+		db.warm = db.newWarmPool()
+	}
 }
 
 // statsPager is the query-side pager view: page access plus counters.
@@ -277,8 +293,15 @@ func (db *DB) invalidate() {
 	db.hist = nil
 	db.dsMu.Unlock()
 	if db.warm != nil {
-		db.warm = storage.NewSharedPaperPool(db.file)
+		db.warm = db.newWarmPool()
 	}
+}
+
+// newWarmPool builds the shared striped pool over the (possibly
+// fault-wrapped) page file, with the paper's capacity policy. Callers
+// must hold db.mu (write side).
+func (db *DB) newWarmPool() *storage.SharedPool {
+	return storage.NewSharedPaperPool(db.wrappedFile())
 }
 
 // AppendSample extends a stored trajectory with one newer position — the
@@ -458,30 +481,47 @@ func (db *DB) IndexSizeMB() float64 {
 func (db *DB) EnableWarmBuffer() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.warm = storage.NewSharedPaperPool(db.file)
+	db.warm = db.newWarmPool()
 }
 
 // view builds a buffered read view of the index: the shared warm pool when
 // enabled, otherwise a fresh per-query pool (wrapped by the fault-
 // injection seam when installed). Callers must hold db.mu.
 func (db *DB) view() (index.Tree, statsPager) {
-	var bp statsPager
+	bp := db.queryPager()
+	return db.treeOn(bp), bp
+}
+
+// queryPager picks the pager a query reads through: the shared warm pool
+// when enabled, otherwise a fresh per-query buffer pool over the (possibly
+// fault-wrapped) page file. Callers must hold db.mu.
+func (db *DB) queryPager() statsPager {
 	if db.warm != nil {
-		bp = db.warm
-	} else {
-		base := storage.Pager(db.file)
-		if db.pagerWrap != nil {
-			base = db.pagerWrap(base)
-		}
-		bp = storage.NewPaperBuffer(base)
+		return db.warm
 	}
+	return storage.NewPaperBuffer(db.wrappedFile())
+}
+
+// wrappedFile returns the page file behind the fault-injection /
+// instrumentation seam when one is installed. Callers must hold db.mu.
+func (db *DB) wrappedFile() storage.Pager {
+	base := storage.Pager(db.file)
+	if db.pagerWrap != nil {
+		base = db.pagerWrap(base)
+	}
+	return base
+}
+
+// treeOn opens the index structure over the given pager. Callers must
+// hold db.mu.
+func (db *DB) treeOn(bp storage.Pager) index.Tree {
 	switch db.kind {
 	case TBTree:
-		return tbtree.Open(bp, db.tb.Meta()), bp
+		return tbtree.Open(bp, db.tb.Meta())
 	case STRTree:
-		return strtree.Open(bp, db.st.Meta()), bp
+		return strtree.Open(bp, db.st.Meta())
 	default:
-		return rtree.Open(bp, db.rt.Meta()), bp
+		return rtree.Open(bp, db.rt.Meta())
 	}
 }
 
@@ -513,7 +553,18 @@ func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) 
 func (db *DB) KMostSimilarOptsContext(ctx context.Context, q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tree, bp := db.view()
+	return db.kMostSimilarOn(ctx, db.queryPager(), q, t1, t2, k, o)
+}
+
+// kMostSimilarOn runs one k-MST query through the given pager — the
+// common core of the single-query entry points (fresh or warm pool) and
+// the batch executor (pool shared across workers). Callers must hold
+// db.mu (read side). With a shared pool, the I/O fields of SearchStats
+// are counter deltas attributed best-effort: concurrent queries interleave
+// on the same counters, so per-query PageReads/BufferHits are approximate
+// while the pool-level totals stay exact.
+func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
+	tree := db.treeOn(bp)
 	before := bp.Stats() // per-query I/O = counter delta (fresh pools start at zero)
 	opts := mst.Options{
 		K:                 k,
@@ -524,6 +575,7 @@ func (db *DB) KMostSimilarOptsContext(ctx context.Context, q *Trajectory, t1, t2
 		ExcludeIDs:        o.ExcludeIDs,
 		MaxNodeAccesses:   o.MaxNodeAccesses,
 		MaxIOReads:        o.MaxIOReads,
+		Parallelism:       o.Parallelism,
 	}
 	if o.MaxIOReads > 0 {
 		opts.IOReads = func() uint64 { return bp.Stats().Misses - before.Misses }
