@@ -1,0 +1,147 @@
+package mstsearch
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPIGolden is the API-compatibility gate: the package's exported
+// surface — every exported type, function, method, constant and variable
+// signature, doc comments stripped, bodies stripped — must match
+// testdata/api.golden byte for byte. An unannounced change to the public
+// API (a removed method, a changed signature, a renamed field) fails CI
+// here before any caller notices.
+//
+// After an intentional API change, regenerate the golden file and commit
+// it alongside the change:
+//
+//	UPDATE_API=1 go test -run TestAPIGolden .
+func TestAPIGolden(t *testing.T) {
+	got := exportedSurface(t, ".")
+	path := filepath.Join("testdata", "api.golden")
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run UPDATE_API=1 go test -run TestAPIGolden .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from %s.\n"+
+			"If the change is intentional, regenerate with UPDATE_API=1 go test -run TestAPIGolden .\n%s",
+			path, surfaceDiff(string(want), got))
+	}
+}
+
+// exportedSurface renders the deterministic exported-declaration dump of
+// the package in dir: files in sorted order, unexported declarations and
+// function bodies pruned, comments dropped.
+func exportedSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ast.FileExports(f) {
+			continue // file declares nothing exported
+		}
+		fmt.Fprintf(&buf, "== %s\n", name)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				d.Body = nil
+				d.Doc = nil
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT {
+					continue
+				}
+				d.Doc = nil
+				pruneComments(d)
+			}
+			if err := cfg.Fprint(&buf, fset, decl); err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteString("\n")
+		}
+		buf.WriteString("\n")
+	}
+	return buf.String()
+}
+
+// pruneComments strips doc and line comments inside a declaration so the
+// golden file only changes when the API itself does.
+func pruneComments(d *ast.GenDecl) {
+	ast.Inspect(d, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.TypeSpec:
+			v.Doc, v.Comment = nil, nil
+		case *ast.ValueSpec:
+			v.Doc, v.Comment = nil, nil
+		case *ast.Field:
+			v.Doc, v.Comment = nil, nil
+		}
+		return true
+	})
+}
+
+// surfaceDiff renders a minimal line diff between the golden and current
+// surfaces.
+func surfaceDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	max := len(wl)
+	if len(gl) > max {
+		max = len(gl)
+	}
+	shown := 0
+	for i := 0; i < max && shown < 40; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  golden:  %s\n  current: %s\n", i+1, w, g)
+			shown++
+		}
+	}
+	if shown == 40 {
+		b.WriteString("  ... (diff truncated)\n")
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"mstsearch/internal/storage"
 )
@@ -77,8 +78,11 @@ func (db *DB) KMostSimilarBatch(ctx context.Context, queries []BatchQuery, opts 
 			defer wg.Done()
 			for i := range work {
 				bq := queries[i]
+				start := time.Now()
 				res, st, err := db.kMostSimilarOn(ctx, bp, bq.Q, bq.T1, bq.T2, bq.K, opts)
 				out[i] = BatchResult{Results: res, Stats: st, Err: err}
+				d := metBatch.record(start, st.Degraded, err)
+				db.slow.observe("batch", d, bq.K, Interval{bq.T1, bq.T2}, st, err)
 			}
 		}()
 	}

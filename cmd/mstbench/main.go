@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation, batch or all")
+		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation, batch, explain or all")
 		paper   = flag.Bool("paper", false, "run at the paper's full scale (slow)")
 		scale   = flag.Float64("scale", 0.25, "Trucks dataset scale in (0,1] for fig8/fig9/table2")
 		samples = flag.Int("samples", 501, "samples per synthetic object (paper: 2001)")
@@ -89,6 +89,15 @@ func main() {
 			card = 500
 		}
 		runBatchExperiment(card, *samples, nq, *seed)
+		fmt.Println()
+	}
+	if run("explain") {
+		any = true
+		card := 50
+		if *paper {
+			card = 500
+		}
+		runExplainExperiment(card, *samples, *queries, *seed)
 		fmt.Println()
 	}
 	if run("ablation") {
@@ -188,6 +197,50 @@ func runBatchExperiment(card, samples, nq int, seed int64) {
 		}
 		fmt.Printf("%7d %11.2f %11.0f %8.2fx\n", par, float64(elapsed.Microseconds())/1000, qps, qps/base)
 	}
+}
+
+// runExplainExperiment validates the selectivity cost model against the
+// observability layer on a GSTD fleet: each query runs under DB.Explain
+// and the table compares the model's predicted leaf I/O with the leaf
+// pages the traced search actually touched. The last query's full EXPLAIN
+// transcript follows the table. Like the batch experiment it drives the
+// public facade, so it lives here rather than in internal/experiments.
+func runExplainExperiment(card, samples, nq int, seed int64) {
+	data := experiments.SyntheticDataset(card, samples, seed)
+	db, err := mstsearch.NewDB(mstsearch.RTree3D, data.Trajs)
+	fail(err)
+	db.EnableWarmBuffer()
+
+	fmt.Printf("EXPLAIN vs. cost model: GSTD S%04d, %d samples/object, %d queries (5%% windows, k=5)\n",
+		card, samples, nq)
+	fmt.Println("query   predLeaf   actLeaf   nodes   pruned%   events   latency")
+	rng := rand.New(rand.NewSource(seed))
+	var last *mstsearch.ExplainReport
+	for i := 0; i < nq; i++ {
+		src := &data.Trajs[rng.Intn(len(data.Trajs))]
+		t1 := rng.Float64() * 0.9
+		t2 := t1 + 0.05
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			fail(fmt.Errorf("explain: query window [%g, %g] outside dataset span", t1, t2))
+		}
+		q := sl.Clone()
+		q.ID = 0
+		rep, err := db.Explain(context.Background(), mstsearch.Request{
+			Q:        &q,
+			Interval: mstsearch.Interval{T1: t1, T2: t2},
+			K:        5,
+			Options:  mstsearch.DefaultOptions(),
+		})
+		fail(err)
+		fmt.Printf("%5d %10.1f %9d %7d %8.1f %8d %9s\n",
+			i+1, rep.Estimate.ExpectedLeafPages, rep.Stats.LeavesAccessed,
+			rep.Stats.NodesAccessed, rep.Stats.PruningPower*100,
+			rep.Trace.Events, rep.Duration.Round(time.Microsecond))
+		last = rep
+	}
+	fmt.Println("\nlast query's transcript:")
+	fmt.Print(last)
 }
 
 func fail(err error) {

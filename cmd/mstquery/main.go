@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		from      = flag.Float64("from", 0, "query period start (default: query lifespan)")
 		to        = flag.Float64("to", 0, "query period end")
 		relaxed   = flag.Bool("relaxed", false, "time-relaxed search: best DISSIM over any time shift")
+		explain   = flag.Bool("explain", false, "run the k-MST query with EXPLAIN: cost-model prediction vs. actual work")
 		nn        = flag.String("nn", "", "point-NN query instead: \"x,y,t\"")
 		rangeQ    = flag.String("range", "", "range query instead: \"minX,minY,maxX,maxY,t1,t2\"")
 		topo      = flag.String("topology", "", "topological query instead: \"minX,minY,maxX,maxY,t1,t2\"")
@@ -57,10 +59,11 @@ func main() {
 	if *nn != "" || *rangeQ != "" || *topo != "" {
 		db, err := mstsearch.NewDB(kind, trajs)
 		fail(err)
+		ctx := context.Background()
 		switch {
 		case *nn != "":
 			v := parseFloats(*nn, 3)
-			res, err := db.NearestAt(v[0], v[1], v[2], *k)
+			res, err := db.Nearest(ctx, v[0], v[1], v[2], *k)
 			fail(err)
 			fmt.Printf("%d nearest objects to (%g, %g) at t=%g:\n", *k, v[0], v[1], v[2])
 			for i, r := range res {
@@ -68,12 +71,12 @@ func main() {
 			}
 		case *rangeQ != "":
 			v := parseFloats(*rangeQ, 6)
-			hits, err := db.RangeQuery(v[0], v[1], v[2], v[3], v[4], v[5])
+			hits, err := db.Range(ctx, mstsearch.Window{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, mstsearch.Interval{T1: v[4], T2: v[5]})
 			fail(err)
 			fmt.Printf("range query: %d segments\n", len(hits))
 		default:
 			v := parseFloats(*topo, 6)
-			rels, err := db.TopologyQuery(v[0], v[1], v[2], v[3], v[4], v[5])
+			rels, err := db.Topology(ctx, mstsearch.Window{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, mstsearch.Interval{T1: v[4], T2: v[5]})
 			fail(err)
 			for _, r := range rels {
 				fmt.Printf("trajectory %-6d %-8s inside for %.4f\n",
@@ -120,7 +123,7 @@ func main() {
 		db.Len(), db.NumSegments(), kind, db.IndexSizeMB())
 
 	if *relaxed {
-		res, err := db.KMostSimilarRelaxed(&q, *k)
+		res, err := db.Relaxed(context.Background(), &q, *k)
 		fail(err)
 		fmt.Printf("time-relaxed k=%d MST: %d results\n", *k, len(res))
 		for i, r := range res {
@@ -134,8 +137,21 @@ func main() {
 	if t1 == 0 && t2 == 0 {
 		t1, t2 = q.StartTime(), q.EndTime()
 	}
-	res, stats, err := db.KMostSimilar(&q, t1, t2, *k)
+	req := mstsearch.Request{
+		Q:        &q,
+		Interval: mstsearch.Interval{T1: t1, T2: t2},
+		K:        *k,
+		Options:  mstsearch.DefaultOptions(),
+	}
+	if *explain {
+		rep, err := db.Explain(context.Background(), req)
+		fail(err)
+		fmt.Print(rep)
+		return
+	}
+	resp, err := db.Query(context.Background(), req)
 	fail(err)
+	res, stats := resp.Results, resp.Stats
 
 	fmt.Printf("k=%d MST over [%g, %g]: %d results, pruning %.1f%%, %d/%d nodes, %d page reads\n",
 		*k, t1, t2, len(res), stats.PruningPower*100,

@@ -1,6 +1,7 @@
 package mstsearch_test
 
 import (
+	"context"
 	"fmt"
 
 	"mstsearch"
@@ -21,7 +22,7 @@ func square() []mstsearch.Trajectory {
 	return []mstsearch.Trajectory{mk(1, 0), mk(2, 2), mk(3, 50)}
 }
 
-func ExampleDB_KMostSimilar() {
+func ExampleDB_Query() {
 	db, _ := mstsearch.NewDB(mstsearch.TBTree, square())
 	// Query: the course of object 1, shifted up by 0.5.
 	q := mstsearch.Trajectory{ID: 0}
@@ -30,13 +31,44 @@ func ExampleDB_KMostSimilar() {
 			X: float64(i), Y: 0.5, T: float64(i),
 		})
 	}
-	results, _, _ := db.KMostSimilar(&q, 0, 10, 2)
-	for i, r := range results {
+	resp, _ := db.Query(context.Background(), mstsearch.Request{
+		Q:        &q,
+		Interval: mstsearch.Interval{T1: 0, T2: 10},
+		K:        2,
+		Options:  mstsearch.DefaultOptions(),
+	})
+	for i, r := range resp.Results {
 		fmt.Printf("%d. trajectory %d DISSIM %.1f\n", i+1, r.TrajID, r.Dissim)
 	}
+	fmt.Printf("certified: %t\n", resp.Results[0].Certified)
 	// Output:
 	// 1. trajectory 1 DISSIM 5.0
 	// 2. trajectory 2 DISSIM 15.0
+	// certified: true
+}
+
+func ExampleDB_Explain() {
+	db, _ := mstsearch.NewDB(mstsearch.RTree3D, square())
+	q := square()[0]
+	q.ID = 0
+	rep, _ := db.Explain(context.Background(), mstsearch.Request{
+		Q:        &q,
+		Interval: mstsearch.Interval{T1: 0, T2: 10},
+		K:        2,
+		Options:  mstsearch.DefaultOptions(),
+	})
+	// rep.String() renders the full EXPLAIN transcript; individual fields
+	// support programmatic checks like these.
+	fmt.Printf("store: %d trajectories, %d segments\n", rep.Trajectories, rep.Segments)
+	fmt.Printf("nodes accessed: %d of %d\n", rep.Stats.NodesAccessed, rep.Stats.TotalNodes)
+	fmt.Printf("trace reconciles with stats: %t\n",
+		rep.Trace.ByKind[mstsearch.EventNodeVisit] == rep.Stats.NodesAccessed)
+	fmt.Printf("results: %d\n", len(rep.Results))
+	// Output:
+	// store: 3 trajectories, 30 segments
+	// nodes accessed: 1 of 1
+	// trace reconciles with stats: true
+	// results: 2
 }
 
 func ExampleDissimilarity() {
@@ -53,10 +85,12 @@ func ExampleDissimilarity() {
 	// DISSIM = 30
 }
 
-func ExampleDB_TopologyQuery() {
+func ExampleDB_Topology() {
 	db, _ := mstsearch.NewDB(mstsearch.RTree3D, square())
 	// Region containing the first two courses, queried over the full span.
-	rels, _ := db.TopologyQuery(-1, -1, 11, 3, 0, 10)
+	rels, _ := db.Topology(context.Background(),
+		mstsearch.Window{MinX: -1, MinY: -1, MaxX: 11, MaxY: 3},
+		mstsearch.Interval{T1: 0, T2: 10})
 	for _, r := range rels {
 		fmt.Printf("trajectory %d: %s\n", r.TrajID, r.Relation)
 	}

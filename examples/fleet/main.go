@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,10 +35,14 @@ func main() {
 	fmt.Printf("query: truck 17's route sketched with %d of %d waypoints\n\n",
 		len(sketch.Samples), len(subject.Samples))
 
-	results, stats, err := db.KMostSimilar(&sketch, subject.StartTime(), subject.EndTime(), 4)
+	resp, err := db.Query(context.Background(), mstsearch.Request{
+		Q: &sketch, Interval: mstsearch.Interval{T1: subject.StartTime(), T2: subject.EndTime()}, K: 4,
+		Options: mstsearch.DefaultOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results, stats := resp.Results, resp.Stats
 	fmt.Println("trucks that drove most like the sketch (DISSIM, space-time):")
 	for i, r := range results {
 		marker := ""

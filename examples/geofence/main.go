@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,28 +54,27 @@ func main() {
 	fmt.Printf("harbour traffic: %d vessels, %d track segments, one %s index\n\n",
 		db.Len(), db.NumSegments(), mstsearch.TBTree)
 
-	// Restricted zone and night window.
-	const (
-		zMinX, zMinY, zMaxX, zMaxY = 40, 40, 60, 60
-		nightFrom, nightTo         = 0.0, 8.0
-	)
+	// Restricted zone and night window, as typed query values.
+	ctx := context.Background()
+	zone := mstsearch.Window{MinX: 40, MinY: 40, MaxX: 60, MaxY: 60}
+	night := mstsearch.Interval{T1: 0, T2: 8}
 
 	// 1. Range query: raw position reports inside the zone tonight.
-	hits, err := db.RangeQuery(zMinX, zMinY, zMaxX, zMaxY, nightFrom, nightTo)
+	hits, err := db.Range(ctx, zone, night)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("range query: %d track segments inside the zone during the night\n", len(hits))
 
 	// Cost estimate before the fact, as an optimizer would.
-	est, err := db.EstimateRangeCount(zMinX, zMinY, zMaxX, zMaxY, nightFrom, nightTo)
+	est, err := db.EstimateRange(zone, night)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  (histogram estimated %.0f segments before running it)\n\n", est)
 
 	// 2. Topological query: how each vessel relates to the zone.
-	rels, err := db.TopologyQuery(zMinX, zMinY, zMaxX, zMaxY, nightFrom, nightTo)
+	rels, err := db.Topology(ctx, zone, night)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func main() {
 	}
 
 	// 3. Historical NN: who was closest to the incident site at 02:30?
-	nn, err := db.NearestAt(50, 50, 2.5, 3)
+	nn, err := db.Nearest(ctx, 50, 50, 2.5, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,10 +96,13 @@ func main() {
 	// 4. Similarity: which vessels moved most like the intruder overnight?
 	q := intruder.Clone()
 	q.ID = 0
-	sim, stats, err := db.KMostSimilar(&q, nightFrom, nightTo, 4)
+	resp, err := db.Query(ctx, mstsearch.Request{
+		Q: &q, Interval: night, K: 4, Options: mstsearch.DefaultOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sim, stats := resp.Results, resp.Stats
 	fmt.Println("\nvessels moving most like the intruder (k-MST, DISSIM):")
 	for i, r := range sim {
 		note := ""

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -73,10 +74,14 @@ func main() {
 	fmt.Printf("city bus network: %d lines, %d segments, %.2f MB 3D R-tree\n\n",
 		db.Len(), db.NumSegments(), db.IndexSizeMB())
 
-	results, stats, err := db.KMostSimilar(&metro, dayStart, dayEnd, 5)
+	resp, err := db.Query(context.Background(), mstsearch.Request{
+		Q: &metro, Interval: mstsearch.Interval{T1: dayStart, T2: dayEnd}, K: 5,
+		Options: mstsearch.DefaultOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results, stats := resp.Results, resp.Stats
 	fmt.Println("bus lines most similar to the new metro line (full service day):")
 	for i, r := range results {
 		fmt.Printf("%d. bus line %-3d DISSIM = %8.1f%s\n",

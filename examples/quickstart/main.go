@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -47,10 +48,14 @@ func main() {
 		q.Samples[i].Y += rng.NormFloat64() * 0.2
 	}
 
-	results, stats, err := db.KMostSimilar(&q, 0, 10, 3)
+	resp, err := db.Query(context.Background(), mstsearch.Request{
+		Q: &q, Interval: mstsearch.Interval{T1: 0, T2: 10}, K: 3,
+		Options: mstsearch.DefaultOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results, stats := resp.Results, resp.Stats
 	fmt.Printf("\n3 most similar trajectories during [0, 10]:\n")
 	for i, r := range results {
 		fmt.Printf("%d. trajectory %-3d DISSIM = %.3f\n", i+1, r.TrajID, r.Dissim)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -78,16 +79,20 @@ func main() {
 	q.ID = 0
 
 	fmt.Println("time-anchored k-MST (Monday 08:00 window):")
-	anchored, _, err := db.KMostSimilar(&q, q.StartTime(), q.EndTime(), 3)
+	aresp, err := db.Query(context.Background(), mstsearch.Request{
+		Q: &q, Interval: mstsearch.Interval{T1: q.StartTime(), T2: q.EndTime()}, K: 3,
+		Options: mstsearch.DefaultOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	anchored := aresp.Results
 	for i, r := range anchored {
 		fmt.Printf("%d. vehicle %-3d DISSIM = %9.2f%s\n", i+1, r.TrajID, r.Dissim, note(r.TrajID))
 	}
 
 	fmt.Println("\ntime-relaxed k-MST (best alignment at any start time):")
-	relaxed, err := db.KMostSimilarRelaxed(&q, 3)
+	relaxed, err := db.Relaxed(context.Background(), &q, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

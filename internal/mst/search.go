@@ -80,6 +80,13 @@ type Options struct {
 	// applied in the serial order, so results, stats, and Certified flags
 	// are bit-identical to the serial search. Values <= 1 mean serial.
 	Parallelism int
+	// Trace, when non-nil, receives one typed TraceEvent per search step
+	// (node visits with MBB and MINDIST, candidate admissions and prunes
+	// with certified bounds, refinement progress, budget exhaustion),
+	// synchronously from the searching goroutine. A nil hook costs one
+	// branch per step and allocates nothing. Tracing never changes what
+	// the search computes.
+	Trace func(TraceEvent)
 }
 
 func (o *Options) normalize() {
@@ -119,6 +126,7 @@ type Stats struct {
 	Rejected        int     // candidates pruned by Heuristic 1
 	TerminatedEarly bool    // Heuristic 2 fired before queue exhaustion
 	ExactRefined    int     // candidates recomputed exactly in post-processing
+	TrapezoidEvals  int     // Lemma 1 trapezoid interval evaluations
 	// Degraded reports that a budget (MaxNodeAccesses / MaxIOReads) ran out
 	// before the search could finish: the results are the best effort
 	// assembled so far, with per-result Certified flags separating proven
@@ -133,10 +141,12 @@ var ErrBadQuery = errors.New("mst: query trajectory must cover the query period"
 // or its deadline expired (it also wraps the context's own error).
 var ErrCanceled = index.ErrCanceled
 
-// queueItem is a tree node awaiting processing, keyed by MINDIST.
+// queueItem is a tree node awaiting processing, keyed by MINDIST. level is
+// the node's depth below the root (root = 0), carried for tracing.
 type queueItem struct {
-	page storage.PageID
-	dist float64
+	page  storage.PageID
+	dist  float64
+	level int
 }
 
 type nodeQueue []queueItem
@@ -193,6 +203,8 @@ type searcher struct {
 
 	segTraj trajectory.Trajectory // reusable 2-sample wrapper
 
+	heapPops int // pop operations (>= NodesAccessed; tracing/metrics only)
+
 	// lastPop tracks the best-first monotonicity invariant under the
 	// debugassert build tag: MINDIST values must leave the heap in
 	// non-decreasing order (distances are >= 0, so the zero value is a
@@ -232,6 +244,7 @@ func SearchContext(ctx context.Context, tree index.Tree, q *trajectory.Trajector
 	for _, id := range opts.ExcludeIDs {
 		s.cands[id] = &candidate{id: id, state: stateRejected, hi: math.Inf(1)}
 	}
+	defer func() { s.flushMetrics(s.heapPops) }()
 	if err := s.run(); err != nil {
 		return nil, s.stats, err
 	}
@@ -266,8 +279,9 @@ func (s *searcher) run() error {
 	if !ok {
 		return nil
 	}
-	heap.Push(&s.queue, queueItem{page: root, dist: d})
+	heap.Push(&s.queue, queueItem{page: root, dist: d, level: 0})
 	s.stats.Enqueued++
+	s.emit(TraceEvent{Kind: EventNodeEnqueue, Page: root, Level: 0, MBB: rootMBB, MinDist: d})
 
 	for s.queue.Len() > 0 {
 		// Cancellation and budget checks sit between node pops: the search
@@ -276,13 +290,15 @@ func (s *searcher) run() error {
 		if err := index.Canceled(s.ctx); err != nil {
 			return err
 		}
-		if s.budgetExhausted() {
+		if budget := s.budgetExhausted(); budget != "" {
 			s.stats.Degraded = true
 			s.degradeDist = s.queue[0].dist
+			s.emit(TraceEvent{Kind: EventBudgetExhausted, Budget: budget, MinDist: s.degradeDist})
 			return nil
 		}
 
 		it := heap.Pop(&s.queue).(queueItem)
+		s.heapPops++
 		if debugassert.Enabled {
 			debugassert.Assertf(it.dist >= s.lastPop,
 				"best-first order violated: popped MINDIST %v after %v (page %d)",
@@ -294,8 +310,12 @@ func (s *searcher) run() error {
 		// order, a positive test terminates the whole search (paper lines
 		// 5-7).
 		if !s.opts.DisableHeuristic2 && s.completedCount() >= s.opts.K {
-			if s.minDissimInc(it.dist) > s.threshold() {
+			if m := s.minDissimInc(it.dist); m > s.threshold() {
 				s.stats.TerminatedEarly = true
+				s.emit(TraceEvent{
+					Kind: EventEarlyTerminate, Page: it.page, Level: it.level,
+					MinDist: it.dist, Lo: m, Heuristic: 2, Threshold: s.threshold(),
+				})
 				return nil
 			}
 		}
@@ -305,6 +325,12 @@ func (s *searcher) run() error {
 			return err
 		}
 		s.stats.NodesAccessed++
+		if s.opts.Trace != nil { // guard: n.MBB() walks the node's entries
+			s.opts.Trace(TraceEvent{
+				Kind: EventNodeVisit, Page: it.page, Level: it.level, Leaf: n.Leaf,
+				MBB: n.MBB(), MinDist: it.dist,
+			})
+		}
 		if n.Leaf {
 			s.stats.LeavesAccessed++
 			s.processLeaf(n, it.dist)
@@ -321,25 +347,30 @@ func (s *searcher) run() error {
 			if d < it.dist {
 				d = it.dist // enforce MINDIST monotonicity under round-off
 			}
-			heap.Push(&s.queue, queueItem{page: c.Page, dist: d})
+			heap.Push(&s.queue, queueItem{page: c.Page, dist: d, level: it.level + 1})
 			s.stats.Enqueued++
+			s.emit(TraceEvent{
+				Kind: EventNodeEnqueue, Page: c.Page, Level: it.level + 1,
+				MBB: c.MBB, MinDist: d,
+			})
 		}
 	}
 	return nil
 }
 
-// budgetExhausted reports whether a per-query resource budget has run
-// out. Both budgets degrade the search instead of failing it: partial
-// answers with an honest Degraded flag beat an error on a query that
-// already did most of its work.
-func (s *searcher) budgetExhausted() bool {
+// budgetExhausted names the per-query resource budget that has run out
+// ("nodes" or "io"), or "" while the search is still within budget. Both
+// budgets degrade the search instead of failing it: partial answers with
+// an honest Degraded flag beat an error on a query that already did most
+// of its work.
+func (s *searcher) budgetExhausted() string {
 	if s.opts.MaxNodeAccesses > 0 && s.stats.NodesAccessed >= s.opts.MaxNodeAccesses {
-		return true
+		return "nodes"
 	}
 	if s.opts.MaxIOReads > 0 && s.opts.IOReads != nil && s.opts.IOReads() >= s.opts.MaxIOReads {
-		return true
+		return "io"
 	}
-	return false
+	return ""
 }
 
 // processLeaf sweeps the leaf's entries (paper lines 9-30). Entries are
@@ -378,6 +409,7 @@ func (s *searcher) candidateFor(id trajectory.ID) (*candidate, bool) {
 			hi:      math.Inf(1),
 		}
 		s.cands[id] = c
+		s.emit(TraceEvent{Kind: EventCandidateAdmit, TrajID: id, Lo: c.lo, Hi: c.hi})
 		return c, false
 	}
 	return c, c.state == stateRejected
@@ -397,6 +429,7 @@ func (s *searcher) addEntry(c *candidate, e index.LeafEntry) {
 	s.segTraj.Samples[1] = trajectory.Sample{X: e.Seg.B.X, Y: e.Seg.B.Y, T: e.Seg.B.T}
 	trajectory.ForEachAligned(s.q, &s.segTraj, lo, hi, func(qs, ts geom.Segment) bool {
 		c.partial.Add(dissim.IntervalOf(qs, ts, s.opts.Refine))
+		s.stats.TrapezoidEvals++
 		return true
 	})
 }
@@ -416,6 +449,7 @@ func (s *searcher) updateCandidate(c *candidate, nodeDist float64) {
 		c.state = stateCompleted
 		s.stats.Completed++
 		s.tauDirty = true
+		s.emit(TraceEvent{Kind: EventCandidateComplete, TrajID: c.id, Lo: c.lo, Hi: c.hi})
 		return
 	}
 	// Lower bound: speed-independent OPTDISSIMINC always applies; the
@@ -438,6 +472,10 @@ func (s *searcher) updateCandidate(c *candidate, nodeDist float64) {
 	if !s.opts.DisableHeuristic1 && c.lo > s.threshold() {
 		c.state = stateRejected
 		s.stats.Rejected++
+		s.emit(TraceEvent{
+			Kind: EventCandidatePrune, TrajID: c.id, Lo: c.lo, Hi: c.hi,
+			Heuristic: 1, Threshold: s.threshold(),
+		})
 	}
 }
 
@@ -612,10 +650,22 @@ func (c *candidate) err() float64 { return (c.hi - c.lo) / 2 }
 // the refined intervals, ExactRefined count, and final ranking cannot
 // depend on goroutine scheduling.
 func (s *searcher) refineAll(cands []*candidate) {
+	if len(cands) == 0 {
+		return
+	}
 	workers := s.opts.Parallelism
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.emit(TraceEvent{Kind: EventRefineStart, Count: len(cands), Workers: workers})
+	metRefineTasks.Add(uint64(len(cands)))
+	metRefineWork.Add(uint64(workers))
+	defer func() {
+		s.emit(TraceEvent{Kind: EventRefineDone, Count: s.stats.ExactRefined, Workers: workers})
+	}()
 	if workers <= 1 {
 		for _, c := range cands {
 			s.refineExact(c)
@@ -677,4 +727,5 @@ func (s *searcher) applyExact(c *candidate, v float64) {
 	}
 	c.lo, c.hi = v, v
 	s.stats.ExactRefined++
+	s.emit(TraceEvent{Kind: EventRefined, TrajID: c.id, Lo: v, Hi: v, Exact: v})
 }

@@ -1,0 +1,158 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstsearch/internal/rtree"
+	"mstsearch/internal/trajectory"
+)
+
+// collectEvents runs one traced search and returns the events alongside
+// the results and stats.
+func collectEvents(t *testing.T, opts Options, data *trajectory.Dataset, tr *rtree.Tree, q *trajectory.Trajectory, t1, t2 float64) ([]TraceEvent, []Result, Stats) {
+	t.Helper()
+	var events []TraceEvent
+	opts.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	res, st, err := Search(tr, q, t1, t2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res, st
+}
+
+// TestTraceContract is the reconciliation gate between the event stream
+// and the search statistics: every counter in Stats must be derivable
+// from the trace, so the two views of a query can never drift apart.
+func TestTraceContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	data := makeDataset(rng, 40, 100)
+	tr := buildRTree(t, data, 1024)
+	q := queryFrom(rng, &data.Trajs[3], 10, 80)
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"refined", Options{K: 5, Refine: 1, Data: data}},
+		{"unrefined", Options{K: 3, Refine: 1}},
+		{"no-heuristics", Options{K: 3, Refine: 1, DisableHeuristic1: true, DisableHeuristic2: true}},
+		{"budgeted", Options{K: 3, Refine: 1, MaxNodeAccesses: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			events, res, st := collectEvents(t, tc.opts, data, tr, &q, 10, 80)
+
+			count := map[EventKind]int{}
+			leaves := 0
+			admitted := map[trajectory.ID]bool{}
+			for _, ev := range events {
+				count[ev.Kind]++
+				switch ev.Kind {
+				case EventNodeVisit:
+					if ev.Leaf {
+						leaves++
+					}
+				case EventCandidateAdmit:
+					admitted[ev.TrajID] = true
+				case EventCandidatePrune:
+					if ev.Heuristic != 1 {
+						t.Errorf("prune event blames heuristic %d, want 1", ev.Heuristic)
+					}
+				case EventEarlyTerminate:
+					if ev.Heuristic != 2 {
+						t.Errorf("early-terminate event blames heuristic %d, want 2", ev.Heuristic)
+					}
+				}
+			}
+
+			if got := count[EventNodeVisit]; got != st.NodesAccessed {
+				t.Errorf("node-visit events %d != NodesAccessed %d", got, st.NodesAccessed)
+			}
+			if leaves != st.LeavesAccessed {
+				t.Errorf("leaf visit events %d != LeavesAccessed %d", leaves, st.LeavesAccessed)
+			}
+			if got := count[EventNodeEnqueue]; got != st.Enqueued {
+				t.Errorf("node-enqueue events %d != Enqueued %d", got, st.Enqueued)
+			}
+			if got := count[EventCandidatePrune]; got != st.Rejected {
+				t.Errorf("candidate-prune events %d != Rejected %d", got, st.Rejected)
+			}
+			if got := count[EventCandidateComplete]; got != st.Completed {
+				t.Errorf("candidate-complete events %d != Completed %d", got, st.Completed)
+			}
+			if got := count[EventRefined]; got != st.ExactRefined {
+				t.Errorf("refined events %d != ExactRefined %d", got, st.ExactRefined)
+			}
+			if st.TerminatedEarly && count[EventEarlyTerminate] != 1 {
+				t.Errorf("early-terminated search emitted %d early-terminate events, want 1", count[EventEarlyTerminate])
+			}
+			if st.Degraded && count[EventBudgetExhausted] != 1 {
+				t.Errorf("degraded search emitted %d budget-exhausted events, want 1", count[EventBudgetExhausted])
+			}
+			if st.ExactRefined > 0 && (count[EventRefineStart] != 1 || count[EventRefineDone] != 1) {
+				t.Errorf("refinement ran but start/done events = %d/%d, want 1/1",
+					count[EventRefineStart], count[EventRefineDone])
+			}
+			for _, r := range res {
+				if !admitted[r.TrajID] {
+					t.Errorf("result trajectory %d never appeared in a candidate-admit event", r.TrajID)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDoesNotChangeResults pins the observer-effect contract: the
+// same query traced and untraced returns bit-identical answers and the
+// same work profile.
+func TestTraceDoesNotChangeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	data := makeDataset(rng, 30, 50)
+	tr := buildRTree(t, data, 1024)
+	q := queryFrom(rng, &data.Trajs[5], 5, 45)
+
+	opts := Options{K: 4, Refine: 1, Data: data}
+	plain, pst, err := Search(tr, &q, 5, 45, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, traced, tst := collectEvents(t, opts, data, tr, &q, 5, 45)
+	if len(events) == 0 {
+		t.Fatal("traced run delivered no events")
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("traced run returned %d results, untraced %d", len(traced), len(plain))
+	}
+	for i := range plain {
+		if plain[i].TrajID != traced[i].TrajID ||
+			math.Float64bits(plain[i].Dissim) != math.Float64bits(traced[i].Dissim) {
+			t.Fatalf("rank %d: untraced %+v != traced %+v", i, plain[i], traced[i])
+		}
+	}
+	if pst != tst {
+		t.Fatalf("stats drifted under tracing: untraced %+v, traced %+v", pst, tst)
+	}
+}
+
+// TestEventKindString pins the taxonomy's names (they appear in EXPLAIN
+// transcripts and logs, so renames are breaking).
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EventNodeEnqueue:       "node-enqueue",
+		EventNodeVisit:         "node-visit",
+		EventCandidateAdmit:    "candidate-admit",
+		EventCandidateComplete: "candidate-complete",
+		EventCandidatePrune:    "candidate-prune",
+		EventEarlyTerminate:    "early-terminate",
+		EventBudgetExhausted:   "budget-exhausted",
+		EventRefineStart:       "refine-start",
+		EventRefined:           "refined",
+		EventRefineDone:        "refine-done",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

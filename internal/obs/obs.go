@@ -1,0 +1,245 @@
+// Package obs is the process-wide observability substrate of the query
+// stack: a metrics registry of atomic counters and fixed-boundary
+// histograms, fed by the storage pools (hits/misses/retries/evictions per
+// pool kind), the k-MST search loop (nodes visited, heap traffic, prune
+// decisions, DISSIM evaluations), and the DB entry points (per-query-kind
+// latency and outcomes).
+//
+// The package is stdlib-only and dependency-free within the repository —
+// every other layer may import it without cycles. Metric handles are
+// resolved once (typically into package-level vars) and updated with
+// plain atomic adds, so the instrumented hot paths stay allocation-free;
+// Snapshot and the expvar adapter are the read side.
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-boundary histogram: values are counted into the
+// bucket of the first boundary they do not exceed, with one implicit
+// overflow bucket past the last boundary. Boundaries are fixed at
+// construction, so Observe is a binary search plus one atomic add —
+// allocation-free and safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; immutable after construction
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits-encoded running sum (CAS loop)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds:  bs,
+		buckets: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets are read
+// one atomic load at a time, so a snapshot taken under concurrent
+// observation is approximate across buckets but never torn within one.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the read-side view of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds; Counts has one more
+	// entry than Bounds (the overflow bucket).
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the boundary of the bucket holding the q-th observation (+Inf when it
+// falls in the overflow bucket, 0 when the histogram is empty).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// LatencyBounds are the default latency histogram boundaries in seconds:
+// 10 µs … 10 s, roughly quarter-decade spaced.
+var LatencyBounds = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1, 1, 2.5, 5, 10,
+}
+
+// IOBounds are the default boundaries for per-query I/O counts (pages,
+// node accesses): powers of two up to 64 K.
+var IOBounds = []float64{
+	0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 2048, 4096, 8192, 16384, 32768, 65536,
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// use New. Handle resolution (Counter, Histogram) is mutex-guarded and
+// intended for init time; the handles themselves are lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry every instrumented layer feeds.
+var Default = New()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// boundaries on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counts)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, keyed by
+// metric name.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Expvar adapts the registry to the standard expvar protocol: publish it
+// with expvar.Publish("mstsearch", registry.Expvar()) and the full
+// snapshot renders as JSON under /debug/vars.
+func (r *Registry) Expvar() expvar.Func {
+	return expvar.Func(func() any {
+		snap := r.Snapshot()
+		out := make(map[string]any, len(snap.Counters)+len(snap.Histograms))
+		for name, v := range snap.Counters {
+			out[name] = v
+		}
+		for name, h := range snap.Histograms {
+			out[name] = map[string]any{
+				"count": h.Count,
+				"sum":   h.Sum,
+				"mean":  h.Mean(),
+				"p50":   finite(h.Quantile(0.50)),
+				"p99":   finite(h.Quantile(0.99)),
+			}
+		}
+		return out
+	})
+}
+
+// finite maps ±Inf (overflow-bucket quantiles) onto -1 so the expvar JSON
+// stays valid.
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("same name must resolve to the same counter")
+	}
+	if r.Counter("b") == c {
+		t.Fatal("distinct names must resolve to distinct counters")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 fall at or under bound 1; 5 under 10; 50 under 100; 500
+	// overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-556.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 556.5", s.Sum)
+	}
+	if math.Abs(s.Mean()-556.5/5) > 1e-9 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1, 2] bucket
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %g, want bucket bound 2", got)
+	}
+	h.Observe(1e9)
+	if got := h.Snapshot().Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 with overflow observation = %g, want +Inf", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	c := r.Counter("n")
+	h := r.Histogram("v", []float64{10})
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*each {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*each)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*each || s.Sum != workers*each {
+		t.Fatalf("histogram count %d sum %g, want %d", s.Count, s.Sum, workers*each)
+	}
+}
+
+func TestExpvarRendersJSON(t *testing.T) {
+	r := New()
+	r.Counter("hits").Add(3)
+	r.Histogram("lat", LatencyBounds).Observe(0.002)
+	out := r.Expvar().String() // expvar renders Func values via String()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if m["hits"] != float64(3) {
+		t.Fatalf("hits = %v, want 3", m["hits"])
+	}
+	lat, ok := m["lat"].(map[string]any)
+	if !ok || lat["count"] != float64(1) {
+		t.Fatalf("lat = %v, want histogram summary with count 1", m["lat"])
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	s := r.Snapshot()
+	c.Inc()
+	if s.Counters["x"] != 1 {
+		t.Fatalf("snapshot must not track later increments: %d", s.Counters["x"])
+	}
+}

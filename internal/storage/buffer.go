@@ -135,7 +135,10 @@ func readVerified(inner Pager, id PageID, onRetry func()) ([]byte, error) {
 // readInner pulls a page from the wrapped pager with verification and
 // bounded retry.
 func (b *BufferPool) readInner(id PageID) ([]byte, error) {
-	return readVerified(b.inner, id, func() { b.stats.Retries++ })
+	return readVerified(b.inner, id, func() {
+		b.stats.Retries++
+		metBuffer.retries.Inc()
+	})
 }
 
 // Read implements Pager. The returned slice aliases the cached frame and
@@ -143,10 +146,12 @@ func (b *BufferPool) readInner(id PageID) ([]byte, error) {
 func (b *BufferPool) Read(id PageID) ([]byte, error) {
 	if el, ok := b.frames[id]; ok {
 		b.stats.Hits++
+		metBuffer.hits.Inc()
 		b.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
 	}
 	b.stats.Misses++
+	metBuffer.misses.Inc()
 	src, err := b.readInner(id)
 	if err != nil {
 		return nil, err
@@ -169,6 +174,7 @@ func (b *BufferPool) Write(id PageID, data []byte) error {
 	}
 	if el, ok := b.frames[id]; ok {
 		b.stats.Hits++
+		metBuffer.hits.Inc()
 		fr := el.Value.(*frame)
 		copy(fr.data, data)
 		fr.dirty = true
@@ -176,6 +182,7 @@ func (b *BufferPool) Write(id PageID, data []byte) error {
 		return nil
 	}
 	b.stats.Misses++
+	metBuffer.misses.Inc()
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	return b.insert(id, cp, true)
@@ -216,6 +223,8 @@ func (b *BufferPool) evictIfFull() error {
 		}
 		b.lru.Remove(el)
 		delete(b.frames, fr.id)
+		b.stats.Evictions++
+		metBuffer.evictions.Inc()
 	}
 	return nil
 }

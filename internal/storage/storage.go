@@ -92,11 +92,12 @@ type Pager interface {
 // Stats counts page-level I/O. For a File they are physical accesses; a
 // BufferPool layers hit/miss accounting on top and forwards misses.
 type Stats struct {
-	Reads   uint64 // physical page reads
-	Writes  uint64 // physical page writes
-	Hits    uint64 // buffer hits (BufferPool only)
-	Misses  uint64 // buffer misses (BufferPool only)
-	Retries uint64 // read retries after transient faults (BufferPool only)
+	Reads     uint64 // physical page reads
+	Writes    uint64 // physical page writes
+	Hits      uint64 // buffer hits (pools only)
+	Misses    uint64 // buffer misses (pools only)
+	Retries   uint64 // read retries after transient faults (pools only)
+	Evictions uint64 // frames evicted to make room (pools only)
 }
 
 // Reset zeroes the counters.

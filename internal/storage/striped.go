@@ -36,9 +36,10 @@ type StripedPool struct {
 	capacity int
 	mask     uint32 // len(shards) - 1; len(shards) is a power of two
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	retries atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	retries   atomic.Uint64
+	evictions atomic.Uint64
 
 	shards []poolShard
 
@@ -145,16 +146,21 @@ func (p *StripedPool) Read(id PageID) ([]byte, error) {
 	defer sh.mu.Unlock()
 	if el, ok := sh.frames[id]; ok {
 		p.hits.Add(1)
+		metStriped.hits.Inc()
 		sh.lru.MoveToFront(el)
 		return cloneBytes(el.Value.(*frame).data), nil
 	}
 	p.misses.Add(1)
-	src, err := readVerified(p.inner, id, func() { p.retries.Add(1) })
+	metStriped.misses.Inc()
+	src, err := readVerified(p.inner, id, func() {
+		p.retries.Add(1)
+		metStriped.retries.Inc()
+	})
 	if err != nil {
 		return nil, err
 	}
 	data := cloneBytes(src)
-	if err := sh.insert(p.inner, id, data, false); err != nil {
+	if err := sh.insert(p, id, data, false); err != nil {
 		return nil, err
 	}
 	return cloneBytes(data), nil
@@ -176,6 +182,7 @@ func (p *StripedPool) Write(id PageID, data []byte) error {
 	defer sh.mu.Unlock()
 	if el, ok := sh.frames[id]; ok {
 		p.hits.Add(1)
+		metStriped.hits.Inc()
 		fr := el.Value.(*frame)
 		copy(fr.data, data)
 		fr.dirty = true
@@ -183,7 +190,8 @@ func (p *StripedPool) Write(id PageID, data []byte) error {
 		return nil
 	}
 	p.misses.Add(1)
-	return sh.insert(p.inner, id, cloneBytes(data), true)
+	metStriped.misses.Inc()
+	return sh.insert(p, id, cloneBytes(data), true)
 }
 
 // Alloc implements Pager. Growth of the inner page table is exclusive:
@@ -200,7 +208,7 @@ func (p *StripedPool) Alloc() (PageID, error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.insert(p.inner, id, make([]byte, p.pageSize), true); err != nil {
+	if err := sh.insert(p, id, make([]byte, p.pageSize), true); err != nil {
 		return NilPage, err
 	}
 	return id, nil
@@ -227,9 +235,10 @@ func (p *StripedPool) Flush() error {
 // physical counters when it exposes them (File's are atomic too).
 func (p *StripedPool) Stats() Stats {
 	s := Stats{
-		Hits:    p.hits.Load(),
-		Misses:  p.misses.Load(),
-		Retries: p.retries.Load(),
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Retries:   p.retries.Load(),
+		Evictions: p.evictions.Load(),
 	}
 	if sp, ok := p.inner.(statsProvider); ok {
 		fs := sp.Stats()
@@ -245,6 +254,7 @@ func (p *StripedPool) ResetStats() {
 	p.hits.Store(0)
 	p.misses.Store(0)
 	p.retries.Store(0)
+	p.evictions.Store(0)
 	if rs, ok := p.inner.(interface{ ResetStats() }); ok {
 		rs.ResetStats()
 	}
@@ -252,8 +262,8 @@ func (p *StripedPool) ResetStats() {
 
 // insert caches data (which must be a private copy) under id, evicting the
 // shard's LRU tail first if the segment is full. Callers must hold sh.mu.
-func (sh *poolShard) insert(inner Pager, id PageID, data []byte, dirty bool) error {
-	if err := sh.evictIfFull(inner); err != nil {
+func (sh *poolShard) insert(p *StripedPool, id PageID, data []byte, dirty bool) error {
+	if err := sh.evictIfFull(p); err != nil {
 		return err
 	}
 	sh.frames[id] = sh.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
@@ -263,7 +273,8 @@ func (sh *poolShard) insert(inner Pager, id PageID, data []byte, dirty bool) err
 // evictIfFull makes room in the shard, writing dirty victims back through
 // inner. Callers must hold sh.mu; the shard owns its pages, so the
 // write-back cannot race inner I/O for the same page from other shards.
-func (sh *poolShard) evictIfFull(inner Pager) error {
+func (sh *poolShard) evictIfFull(p *StripedPool) error {
+	inner := p.inner
 	for sh.lru.Len() >= sh.capacity {
 		el := sh.lru.Back()
 		fr := el.Value.(*frame)
@@ -286,6 +297,8 @@ func (sh *poolShard) evictIfFull(inner Pager) error {
 		}
 		sh.lru.Remove(el)
 		delete(sh.frames, fr.id)
+		p.evictions.Add(1)
+		metStriped.evictions.Inc()
 	}
 	return nil
 }

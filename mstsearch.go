@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
 
 	"mstsearch/internal/baselines"
@@ -38,7 +37,6 @@ import (
 	"mstsearch/internal/strtree"
 	"mstsearch/internal/tbtree"
 	"mstsearch/internal/tdtr"
-	"mstsearch/internal/topology"
 	"mstsearch/internal/trajectory"
 )
 
@@ -95,14 +93,21 @@ type Result struct {
 	Certified bool
 }
 
-// SearchStats reports the work one query performed.
+// SearchStats reports the work one query performed — the per-query access
+// profile of the paper's §5 evaluation (node accesses, pruning power, page
+// I/O) plus the bookkeeping the observability layer adds on top.
 type SearchStats struct {
 	NodesAccessed   int
+	LeavesAccessed  int // of NodesAccessed, how many were leaves
 	TotalNodes      int
+	Enqueued        int     // best-first heap insertions
 	PruningPower    float64 // fraction of tree nodes never touched
 	PageReads       uint64  // physical page reads (buffer misses)
 	BufferHits      uint64
 	Retries         uint64 // page reads retried after transient faults
+	Evictions       uint64 // buffer frames evicted during the query
+	TrapezoidEvals  int    // Lemma 1 trapezoid interval evaluations
+	ExactRefined    int    // candidates recomputed exactly (§4.4)
 	TerminatedEarly bool
 	// Degraded reports that a budget (MaxNodeAccesses / MaxIOReads) ran
 	// out mid-search: the results are the best effort assembled within the
@@ -142,7 +147,42 @@ type Options struct {
 	// GOMAXPROCS. Parallel and serial runs return bit-identical results —
 	// workers only compute, admission stays sequential.
 	Parallelism int
+	// Trace, when non-nil, receives one typed TraceEvent per search step —
+	// node visits with MBB and MINDIST, candidate admissions/completions,
+	// prune decisions with the responsible heuristic and the threshold it
+	// compared against, refinement progress, budget exhaustion — delivered
+	// synchronously from the searching goroutine. It is the building block
+	// for slow-query forensics and DB.Explain. A nil hook costs one
+	// predictable branch per step and allocates nothing; tracing never
+	// changes what the search computes. Hooks must be fast, and when one
+	// Options value is shared by a KMostSimilarBatch call the hook must be
+	// safe for concurrent use.
+	Trace func(TraceEvent)
 }
+
+// Trace event model, re-exported from the search engine. See the EventKind
+// constants for the taxonomy.
+type (
+	// TraceEvent is one step of a search, delivered to Options.Trace.
+	TraceEvent = mst.TraceEvent
+	// EventKind discriminates trace events.
+	EventKind = mst.EventKind
+)
+
+// The trace event taxonomy (see the mst package for per-kind field
+// documentation).
+const (
+	EventNodeEnqueue       = mst.EventNodeEnqueue
+	EventNodeVisit         = mst.EventNodeVisit
+	EventCandidateAdmit    = mst.EventCandidateAdmit
+	EventCandidateComplete = mst.EventCandidateComplete
+	EventCandidatePrune    = mst.EventCandidatePrune
+	EventEarlyTerminate    = mst.EventEarlyTerminate
+	EventBudgetExhausted   = mst.EventBudgetExhausted
+	EventRefineStart       = mst.EventRefineStart
+	EventRefined           = mst.EventRefined
+	EventRefineDone        = mst.EventRefineDone
+)
 
 // DB is a trajectory database: an in-memory trajectory store plus a paged
 // spatiotemporal index (4 KB pages) queried through an LRU buffer pool
@@ -152,6 +192,11 @@ type Options struct {
 // other and are serialized against mutations (Add, AppendSample, Recover)
 // by an internal reader/writer lock.
 type DB struct {
+	// slow is the bounded in-memory slow-query log. It synchronizes
+	// itself (atomic threshold, internal mutex), so it sits above the
+	// DB's locks rather than under either of them.
+	slow slowLog
+
 	mu    sync.RWMutex // queries take read side; mutations take write side
 	kind  IndexKind
 	file  *storage.File
@@ -177,6 +222,18 @@ type DB struct {
 // so callers can interpose middleware (fault injection, metrics) via
 // SetPagerWrapper.
 type Pager = storage.Pager
+
+// PageID addresses one page of the index file, re-exported so trace events
+// and pager middleware can name pages.
+type PageID = storage.PageID
+
+// Geometry re-exports used by trace events and the typed query API.
+type (
+	// STPoint is a spatiotemporal point (x, y, t).
+	STPoint = geom.STPoint
+	// MBB is a 3D minimum bounding box over (x, y, t).
+	MBB = geom.MBB
+)
 
 // Typed errors of the query path, re-exported from the internal layers so
 // callers can build a complete failure taxonomy with errors.Is/As:
@@ -529,31 +586,42 @@ func (db *DB) treeOn(bp storage.Pager) index.Tree {
 // smallest DISSIM from q over the period [t1, t2] (both q and the answers
 // must be defined throughout the period). Results come back most similar
 // first with exact dissimilarities.
+//
+// Deprecated: use [DB.Query] with [DefaultOptions], the canonical
+// context-first entry point. This wrapper remains for compatibility and
+// will not be removed, but new call sites should not be written against
+// it.
 func (db *DB) KMostSimilar(q *Trajectory, t1, t2 float64, k int) ([]Result, SearchStats, error) {
-	return db.KMostSimilarOpts(q, t1, t2, k, Options{ExactRefine: true, Refine: 1})
+	r, err := db.Query(context.Background(), Request{Q: q, Interval: Interval{t1, t2}, K: k, Options: DefaultOptions()})
+	return r.Results, r.Stats, err
 }
 
 // KMostSimilarContext is KMostSimilar under a context: a canceled or
 // expired context aborts the search between node visits with an error
 // wrapping ErrCanceled.
+//
+// Deprecated: use [DB.Query] with [DefaultOptions].
 func (db *DB) KMostSimilarContext(ctx context.Context, q *Trajectory, t1, t2 float64, k int) ([]Result, SearchStats, error) {
-	return db.KMostSimilarOptsContext(ctx, q, t1, t2, k, Options{ExactRefine: true, Refine: 1})
+	r, err := db.Query(ctx, Request{Q: q, Interval: Interval{t1, t2}, K: k, Options: DefaultOptions()})
+	return r.Results, r.Stats, err
 }
 
 // KMostSimilarOpts is KMostSimilar with explicit Options.
+//
+// Deprecated: use [DB.Query].
 func (db *DB) KMostSimilarOpts(q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
-	return db.KMostSimilarOptsContext(context.Background(), q, t1, t2, k, o)
+	r, err := db.Query(context.Background(), Request{Q: q, Interval: Interval{t1, t2}, K: k, Options: o})
+	return r.Results, r.Stats, err
 }
 
-// KMostSimilarOptsContext is the fully explicit k-MST entry point:
-// context-aware and Options-tuned. Cancellation yields an error wrapping
-// ErrCanceled; an exhausted budget (Options.MaxNodeAccesses /
-// Options.MaxIOReads) yields best-effort results with
-// SearchStats.Degraded set instead of an error.
+// KMostSimilarOptsContext is the fully explicit legacy k-MST entry point:
+// context-aware and Options-tuned.
+//
+// Deprecated: use [DB.Query], which carries the same capabilities on a
+// single Request/Response pair.
 func (db *DB) KMostSimilarOptsContext(ctx context.Context, q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.kMostSimilarOn(ctx, db.queryPager(), q, t1, t2, k, o)
+	r, err := db.Query(ctx, Request{Q: q, Interval: Interval{t1, t2}, K: k, Options: o})
+	return r.Results, r.Stats, err
 }
 
 // kMostSimilarOn runs one k-MST query through the given pager — the
@@ -576,6 +644,7 @@ func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, 
 		MaxNodeAccesses:   o.MaxNodeAccesses,
 		MaxIOReads:        o.MaxIOReads,
 		Parallelism:       o.Parallelism,
+		Trace:             o.Trace,
 	}
 	if o.MaxIOReads > 0 {
 		opts.IOReads = func() uint64 { return bp.Stats().Misses - before.Misses }
@@ -598,11 +667,16 @@ func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, 
 	bs := bp.Stats()
 	return out, SearchStats{
 		NodesAccessed:   st.NodesAccessed,
+		LeavesAccessed:  st.LeavesAccessed,
 		TotalNodes:      st.TotalNodes,
+		Enqueued:        st.Enqueued,
 		PruningPower:    st.PruningPower,
 		PageReads:       bs.Misses - before.Misses, // each miss is one physical read
 		BufferHits:      bs.Hits - before.Hits,
 		Retries:         bs.Retries - before.Retries,
+		Evictions:       bs.Evictions - before.Evictions,
+		TrapezoidEvals:  st.TrapezoidEvals,
+		ExactRefined:    st.ExactRefined,
 		TerminatedEarly: st.TerminatedEarly,
 		Degraded:        st.Degraded,
 	}, nil
@@ -616,41 +690,23 @@ func (db *DB) KMostSimilarTo(id ID, t1, t2 float64, k int) ([]Result, SearchStat
 		return nil, SearchStats{}, fmt.Errorf("mstsearch: unknown trajectory %d", id)
 	}
 	q := tr.Clone()
-	return db.KMostSimilarOpts(&q, t1, t2, k, Options{
-		ExactRefine: true, Refine: 1, ExcludeIDs: []ID{id},
-	})
+	o := DefaultOptions()
+	o.ExcludeIDs = []ID{id}
+	r, err := db.Query(context.Background(), Request{Q: &q, Interval: Interval{t1, t2}, K: k, Options: o})
+	return r.Results, r.Stats, err
 }
 
 // KMostSimilarAuto answers a k-MST query through whichever execution plan
-// the selectivity cost model predicts is cheaper: the index-based
-// BFMSTSearch, or — when the predicted corridor covers most of the data,
-// so the index would touch nearly everything anyway — a direct exact scan
-// of the trajectory store. The bool reports whether the index was used.
-func (db *DB) KMostSimilarAuto(q *Trajectory, t1, t2 float64, k int) ([]Result, bool, error) {
-	est, err := db.EstimateQueryCost(q, t1, t2, k)
-	if err != nil {
-		return nil, false, err
-	}
-	// Index plan cost ≈ predicted leaf pages; scan plan cost ≈ reading the
-	// whole store. Prefer the scan when the corridor spans most of the
-	// segment mass (the index can no longer prune, but still pays
-	// traversal and bound-maintenance overhead).
-	if est.ExpectedSegments < 0.5*float64(db.NumSegments()) {
-		res, _, err := db.KMostSimilar(q, t1, t2, k)
-		return res, true, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ds, err := db.dataset()
-	if err != nil {
-		return nil, false, err
-	}
-	scan := baselines.LinearScanMST(ds, q, t1, t2, k)
-	out := make([]Result, len(scan))
-	for i, r := range scan {
-		out[i] = Result{TrajID: r.TrajID, Dissim: r.Dissim}
-	}
-	return out, false, nil
+// the selectivity cost model predicts is cheaper (see [DB.QueryAuto]).
+// The bool reports whether the index was used.
+//
+// Deprecated: use [DB.QueryAuto], which evaluates the plan choice and the
+// query under one consistent snapshot of the store.
+func (db *DB) KMostSimilarAuto(q *Trajectory, t1, t2 float64, k int) ([]Result, SearchStats, bool, error) {
+	r, usedIndex, err := db.QueryAuto(context.Background(), Request{
+		Q: q, Interval: Interval{t1, t2}, K: k, Options: DefaultOptions(),
+	})
+	return r.Results, r.Stats, usedIndex, err
 }
 
 // Dissimilarity returns the exact DISSIM between two trajectories over
@@ -692,38 +748,32 @@ func CompressTDTR(tr *Trajectory, p float64) Trajectory {
 type SegmentHit struct {
 	TrajID ID
 	SeqNo  uint32
-	// X1, Y1, T1 — X2, Y2, T2 are the segment's endpoints.
+	// X1, Y1, T1 — X2, Y2, T2 are the segment's endpoints, kept flat for
+	// compatibility; Start/End expose the same data as typed points.
 	X1, Y1, T1 float64
 	X2, Y2, T2 float64
 }
 
+// Start returns the segment's earlier endpoint as a typed point.
+func (h SegmentHit) Start() STPoint { return STPoint{X: h.X1, Y: h.Y1, T: h.T1} }
+
+// End returns the segment's later endpoint as a typed point.
+func (h SegmentHit) End() STPoint { return STPoint{X: h.X2, Y: h.Y2, T: h.T2} }
+
 // RangeQuery returns every stored segment intersecting the spatial window
-// [minX, maxX] × [minY, maxY] during [t1, t2] — the classical
-// spatiotemporal range query, served by the same index as KMostSimilar.
+// [minX, maxX] × [minY, maxY] during [t1, t2].
+//
+// Deprecated: use [DB.Range], which takes typed Window/Interval values
+// instead of six positional floats.
 func (db *DB) RangeQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]SegmentHit, error) {
-	return db.RangeQueryContext(context.Background(), minX, minY, maxX, maxY, t1, t2)
+	return db.Range(context.Background(), Window{minX, minY, maxX, maxY}, Interval{t1, t2})
 }
 
-// RangeQueryContext is RangeQuery under a context: cancellation is checked
-// before every node read and surfaces as an error wrapping ErrCanceled.
+// RangeQueryContext is RangeQuery under a context.
+//
+// Deprecated: use [DB.Range].
 func (db *DB) RangeQueryContext(ctx context.Context, minX, minY, maxX, maxY, t1, t2 float64) ([]SegmentHit, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
-	entries, err := index.RangeSearchContext(ctx, tree, box)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]SegmentHit, len(entries))
-	for i, e := range entries {
-		out[i] = SegmentHit{
-			TrajID: e.TrajID, SeqNo: e.SeqNo,
-			X1: e.Seg.A.X, Y1: e.Seg.A.Y, T1: e.Seg.A.T,
-			X2: e.Seg.B.X, Y2: e.Seg.B.Y, T2: e.Seg.B.T,
-		}
-	}
-	return out, nil
+	return db.Range(ctx, Window{minX, minY, maxX, maxY}, Interval{t1, t2})
 }
 
 // Neighbor is one historical point-NN answer.
@@ -733,27 +783,18 @@ type Neighbor struct {
 }
 
 // NearestAt returns the k moving objects closest to point (x, y) at time
-// instant t — the historical nearest-neighbour query of [6], served by the
-// same index.
+// instant t.
+//
+// Deprecated: use [DB.Nearest], the context-first equivalent.
 func (db *DB) NearestAt(x, y, t float64, k int) ([]Neighbor, error) {
-	return db.NearestAtContext(context.Background(), x, y, t, k)
+	return db.Nearest(context.Background(), x, y, t, k)
 }
 
-// NearestAtContext is NearestAt under a context: cancellation is checked
-// before every node read and surfaces as an error wrapping ErrCanceled.
+// NearestAtContext is NearestAt under a context.
+//
+// Deprecated: use [DB.Nearest].
 func (db *DB) NearestAtContext(ctx context.Context, x, y, t float64, k int) ([]Neighbor, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	res, err := index.NearestAtContext(ctx, tree, geom.Point{X: x, Y: y}, t, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Neighbor, len(res))
-	for i, r := range res {
-		out[i] = Neighbor{TrajID: r.TrajID, Dist: r.Dist}
-	}
-	return out, nil
+	return db.Nearest(ctx, x, y, t, k)
 }
 
 // TopologyResult describes how one stored trajectory relates to a queried
@@ -770,51 +811,19 @@ type TopologyResult struct {
 
 // TopologyQuery classifies every stored trajectory that touches the
 // spatial region [minX, maxX] × [minY, maxY] during [t1, t2] by its
-// topological relation (enter/leave/cross/…). Candidates are found through
-// the index; objects that never enter the region are omitted.
+// topological relation (enter/leave/cross/…).
+//
+// Deprecated: use [DB.Topology], which takes typed Window/Interval values
+// instead of six positional floats.
 func (db *DB) TopologyQuery(minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyResult, error) {
-	return db.TopologyQueryContext(context.Background(), minX, minY, maxX, maxY, t1, t2)
+	return db.Topology(context.Background(), Window{minX, minY, maxX, maxY}, Interval{t1, t2})
 }
 
-// TopologyQueryContext is TopologyQuery under a context: cancellation is
-// checked before every node read of the candidate-finding phase and
-// between candidate classifications.
+// TopologyQueryContext is TopologyQuery under a context.
+//
+// Deprecated: use [DB.Topology].
 func (db *DB) TopologyQueryContext(ctx context.Context, minX, minY, maxX, maxY, t1, t2 float64) ([]TopologyResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	box := geom.MBB{MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2}
-	entries, err := index.RangeSearchContext(ctx, tree, box)
-	if err != nil {
-		return nil, err
-	}
-	seen := map[ID]bool{}
-	region := geom.Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
-	var out []TopologyResult
-	for _, e := range entries {
-		if seen[e.TrajID] {
-			continue
-		}
-		if err := index.Canceled(ctx); err != nil {
-			return nil, err
-		}
-		seen[e.TrajID] = true
-		tr := db.get(e.TrajID)
-		if tr == nil {
-			continue
-		}
-		rel, eps, ok := topology.Classify(tr, region, t1, t2)
-		if !ok || rel == topology.Disjoint {
-			continue
-		}
-		out = append(out, TopologyResult{
-			TrajID:         e.TrajID,
-			Relation:       rel.String(),
-			InsideDuration: topology.InsideDuration(eps),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].TrajID < out[j].TrajID })
-	return out, nil
+	return db.Topology(ctx, Window{minX, minY, maxX, maxY}, Interval{t1, t2})
 }
 
 // RelaxedResult is one time-relaxed k-MST answer: the best DISSIM over all
@@ -827,33 +836,18 @@ type RelaxedResult struct {
 
 // KMostSimilarRelaxed answers the Time-Relaxed MST query (the paper's §6
 // research direction): the k trajectories minimizing DISSIM over every
-// feasible time shift of the query — similarity of motion regardless of
-// when each object set out. Evaluated by an optimizing scan (grid +
-// golden-section per candidate); trajectories shorter than the query are
-// skipped.
+// feasible time shift of the query.
+//
+// Deprecated: use [DB.Relaxed], the context-first equivalent.
 func (db *DB) KMostSimilarRelaxed(q *Trajectory, k int) ([]RelaxedResult, error) {
-	return db.KMostSimilarRelaxedContext(context.Background(), q, k)
+	return db.Relaxed(context.Background(), q, k)
 }
 
-// KMostSimilarRelaxedContext is KMostSimilarRelaxed under a context:
-// cancellation is checked between candidate optimizations and surfaces as
-// an error wrapping ErrCanceled.
+// KMostSimilarRelaxedContext is KMostSimilarRelaxed under a context.
+//
+// Deprecated: use [DB.Relaxed].
 func (db *DB) KMostSimilarRelaxedContext(ctx context.Context, q *Trajectory, k int) ([]RelaxedResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ds, err := db.dataset()
-	if err != nil {
-		return nil, err
-	}
-	res, err := mst.RelaxedScanContext(ctx, ds, q, k, mst.RelaxedOptions{})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]RelaxedResult, len(res))
-	for i, r := range res {
-		out[i] = RelaxedResult{TrajID: r.TrajID, Dissim: r.Dissim, Offset: r.Offset}
-	}
-	return out, nil
+	return db.Relaxed(ctx, q, k)
 }
 
 // QueryCostEstimate prices a k-MST query before running it (see package
@@ -877,6 +871,13 @@ type QueryCostEstimate struct {
 func (db *DB) EstimateQueryCost(q *Trajectory, t1, t2 float64, k int) (QueryCostEstimate, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.estimateQueryCostLocked(q, t1, t2, k)
+}
+
+// estimateQueryCostLocked is EstimateQueryCost under an already-held lock,
+// so QueryAuto and Explain can price and execute a query against one
+// consistent snapshot of the store. Callers must hold db.mu (either side).
+func (db *DB) estimateQueryCostLocked(q *Trajectory, t1, t2 float64, k int) (QueryCostEstimate, error) {
 	h, err := db.histogram()
 	if err != nil {
 		return QueryCostEstimate{}, err
@@ -897,16 +898,11 @@ func (db *DB) EstimateQueryCost(q *Trajectory, t1, t2 float64, k int) (QueryCost
 }
 
 // EstimateRangeCount predicts how many segments a RangeQuery would return.
+//
+// Deprecated: use [DB.EstimateRange], which takes typed Window/Interval
+// values instead of six positional floats.
 func (db *DB) EstimateRangeCount(minX, minY, maxX, maxY, t1, t2 float64) (float64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	h, err := db.histogram()
-	if err != nil {
-		return 0, err
-	}
-	return h.EstimateRange(geom.MBB{
-		MinX: minX, MinY: minY, MinT: t1, MaxX: maxX, MaxY: maxY, MaxT: t2,
-	}), nil
+	return db.EstimateRange(Window{minX, minY, maxX, maxY}, Interval{t1, t2})
 }
 
 // histogram lazily builds the selectivity histogram (resolution grows with

@@ -291,7 +291,7 @@ func TestKMostSimilarAutoAgreesWithIndex(t *testing.T) {
 	// Narrow query → index plan.
 	q := trajs[2].Clone()
 	q.ID = 0
-	auto, usedIndex, err := db.KMostSimilarAuto(&q, 2, 4, 2)
+	auto, _, usedIndex, err := db.KMostSimilarAuto(&q, 2, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

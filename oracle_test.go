@@ -131,11 +131,18 @@ func TestDifferentialOracle(t *testing.T) {
 					k := 1 + rng.Intn(5)
 					want := linearTopK(trajs, q, t1, t2, k)
 
-					serial, _, err := db.KMostSimilarOpts(q, t1, t2, k,
-						Options{ExactRefine: true, Refine: 1, Parallelism: 1})
+					// Serial leg through the canonical Query entry point,
+					// parallel leg through the deprecated wrapper: the
+					// bit-identical check then also certifies that the two
+					// entry points are the same search.
+					resp, err := db.Query(context.Background(), Request{
+						Q: q, Interval: Interval{T1: t1, T2: t2}, K: k,
+						Options: Options{ExactRefine: true, Refine: 1, Parallelism: 1},
+					})
 					if err != nil {
 						t.Fatalf("iter %d serial: %v", i, err)
 					}
+					serial := resp.Results
 					checkOracle(t, "serial", i, serial, want)
 
 					par, _, err := db.KMostSimilarOpts(q, t1, t2, k,

@@ -336,7 +336,7 @@ func TestKMostSimilarAutoScanPath(t *testing.T) {
 	}
 	q := trajs[0].Clone()
 	q.ID = 0
-	auto, usedIndex, err := db.KMostSimilarAuto(&q, 0, 10, 6)
+	auto, _, usedIndex, err := db.KMostSimilarAuto(&q, 0, 10, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,97 @@
+package mstsearch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// slowLogCapacity bounds the slow-query log: a ring of the most recent
+// entries, so a pathological workload can't grow the log without bound.
+const slowLogCapacity = 64
+
+// SlowQuery is one entry of the slow-query log: what ran, how long it
+// took, and the work profile it left behind.
+type SlowQuery struct {
+	// Kind names the entry point: "kmst", "range", "nn", "topology",
+	// "relaxed", "batch" or "explain".
+	Kind string
+	// Duration is the query's wall-clock latency.
+	Duration time.Duration
+	// When is the query's completion time.
+	When time.Time
+	// K and Interval echo the request for k-MST queries (zero otherwise).
+	K        int
+	Interval Interval
+	// Stats is the query's work profile (zero for non-k-MST kinds).
+	Stats SearchStats
+	// Err is the error text, "" on success.
+	Err string
+}
+
+// slowLog is a bounded, latch-protected ring of the most recent slow
+// queries. The threshold is atomic so the fast path — every query checks
+// it once — never takes the lock; 0 means disarmed.
+type slowLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 disables
+
+	mu      sync.Mutex
+	entries []SlowQuery // ring buffer, allocated on first slow query
+	next    int         // ring cursor
+	total   int         // entries ever logged (caps the readable count)
+}
+
+// observe appends the query to the ring when the log is armed and the
+// query crossed the threshold. The disarmed path is one atomic load.
+func (l *slowLog) observe(kind string, d time.Duration, k int, iv Interval, stats SearchStats, err error) {
+	thr := l.threshold.Load()
+	if thr <= 0 || int64(d) < thr {
+		return
+	}
+	e := SlowQuery{
+		Kind: kind, Duration: d, When: time.Now(),
+		K: k, Interval: iv, Stats: stats,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	l.mu.Lock()
+	if l.entries == nil {
+		l.entries = make([]SlowQuery, slowLogCapacity)
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % slowLogCapacity
+	l.total++
+	l.mu.Unlock()
+}
+
+// snapshot returns the logged queries, newest first.
+func (l *slowLog) snapshot() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.total
+	if n > slowLogCapacity {
+		n = slowLogCapacity
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.entries[(l.next-i+slowLogCapacity)%slowLogCapacity])
+	}
+	return out
+}
+
+// SetSlowQueryThreshold arms the DB's slow-query log: every query whose
+// wall-clock latency reaches d is recorded in a bounded ring (the most
+// recent 64). d <= 0 disarms the log; entries already recorded remain
+// readable. The check costs one atomic load per query, so leaving the log
+// disarmed is free.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	db.slow.threshold.Store(int64(d))
+}
+
+// SlowQueries returns the slow-query log, newest first. The slice is a
+// private copy.
+func (db *DB) SlowQueries() []SlowQuery { return db.slow.snapshot() }
