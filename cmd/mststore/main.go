@@ -1,0 +1,237 @@
+// Command mststore manages durable trajectory stores: directories holding
+// a checkpoint snapshot plus a write-ahead log, as created by
+// mstsearch.OpenDurable. Unlike mstquery — which rebuilds an in-memory
+// index from CSV on every run — mststore ingests once and reopens the
+// same store across runs, surviving crashes in between.
+//
+// Usage:
+//
+//	mststore ingest     -dir store/ -data trucks.csv [-tree rtree] [-sync always]
+//	mststore append     -dir store/ -data updates.csv
+//	mststore checkpoint -dir store/
+//	mststore info       -dir store/
+//	mststore query      -dir store/ -queryid 7 -k 5
+//
+// Example:
+//
+//	gendata -kind trucks -scale 0.2 -o trucks.csv
+//	mststore ingest -dir store/ -data trucks.csv -tree tb
+//	mststore query -dir store/ -queryid 7 -k 5
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mstsearch"
+	"mstsearch/internal/wal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "ingest":
+		runIngest(os.Args[2:])
+	case "append":
+		runAppend(os.Args[2:])
+	case "checkpoint":
+		runCheckpoint(os.Args[2:])
+	case "info":
+		runInfo(os.Args[2:])
+	case "query":
+		runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mststore <ingest|append|checkpoint|info|query> -dir <store> [flags]")
+	os.Exit(2)
+}
+
+// storeFlags declares the flags every subcommand shares.
+func storeFlags(name string) (*flag.FlagSet, *string, *string, *string) {
+	fs := flag.NewFlagSet("mststore "+name, flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	tree := fs.String("tree", "rtree", "index structure: rtree, tb, or str")
+	sync := fs.String("sync", "always", "fsync policy: always, grouped, or off")
+	return fs, dir, tree, sync
+}
+
+func parseKind(tree string) mstsearch.IndexKind {
+	switch tree {
+	case "tb", "tbtree":
+		return mstsearch.TBTree
+	case "str", "strtree":
+		return mstsearch.STRTree
+	default:
+		return mstsearch.RTree3D
+	}
+}
+
+func parseSync(s string) mstsearch.SyncMode {
+	switch s {
+	case "grouped":
+		return mstsearch.SyncGrouped
+	case "off":
+		return mstsearch.SyncOff
+	default:
+		return mstsearch.SyncAlways
+	}
+}
+
+// open opens the store, resolving the index kind from the directory when
+// it already holds a checkpoint under a different kind than requested.
+func open(dir string, kind mstsearch.IndexKind, mode mstsearch.SyncMode) (*mstsearch.DB, mstsearch.IndexKind) {
+	opts := mstsearch.DurableOptions{Sync: mode}
+	db, err := mstsearch.OpenDurable(dir, kind, opts)
+	if errors.Is(err, mstsearch.ErrSnapshotKind) {
+		for _, k := range []mstsearch.IndexKind{mstsearch.RTree3D, mstsearch.TBTree, mstsearch.STRTree} {
+			if k == kind {
+				continue
+			}
+			if db, err = mstsearch.OpenDurable(dir, k, opts); err == nil {
+				kind = k
+				break
+			}
+		}
+	}
+	fail(err)
+	return db, kind
+}
+
+func runIngest(args []string) {
+	fs, dir, tree, sync := storeFlags("ingest")
+	data := fs.String("data", "", "dataset CSV to ingest (required)")
+	fs.Parse(args)
+	requireDir(*dir)
+	if *data == "" {
+		fail(fmt.Errorf("-data is required"))
+	}
+	db, kind := open(*dir, parseKind(*tree), parseSync(*sync))
+	trajs := readCSV(*data)
+	added := 0
+	for i := range trajs {
+		if err := db.Add(trajs[i]); err != nil {
+			fail(fmt.Errorf("trajectory %d: %w", trajs[i].ID, err))
+		}
+		added++
+	}
+	fail(db.Close())
+	fmt.Printf("ingested %d trajectories into %s (%s, durable)\n", added, *dir, kind)
+}
+
+// runAppend streams location updates into existing trajectories: each
+// CSV trajectory's samples are appended to the stored trajectory with
+// the same ID.
+func runAppend(args []string) {
+	fs, dir, tree, sync := storeFlags("append")
+	data := fs.String("data", "", "updates CSV (required)")
+	fs.Parse(args)
+	requireDir(*dir)
+	if *data == "" {
+		fail(fmt.Errorf("-data is required"))
+	}
+	db, _ := open(*dir, parseKind(*tree), parseSync(*sync))
+	updates := readCSV(*data)
+	n := 0
+	for i := range updates {
+		for _, s := range updates[i].Samples {
+			if err := db.AppendSample(updates[i].ID, s); err != nil {
+				fail(fmt.Errorf("trajectory %d: %w", updates[i].ID, err))
+			}
+			n++
+		}
+	}
+	fail(db.Close())
+	fmt.Printf("appended %d samples across %d trajectories\n", n, len(updates))
+}
+
+func runCheckpoint(args []string) {
+	fs, dir, tree, sync := storeFlags("checkpoint")
+	fs.Parse(args)
+	requireDir(*dir)
+	db, _ := open(*dir, parseKind(*tree), parseSync(*sync))
+	fail(db.Checkpoint())
+	fail(db.Close())
+	fmt.Printf("checkpointed %s\n", *dir)
+}
+
+func runInfo(args []string) {
+	fs, dir, tree, sync := storeFlags("info")
+	fs.Parse(args)
+	requireDir(*dir)
+	db, kind := open(*dir, parseKind(*tree), parseSync(*sync))
+	defer db.Close()
+	segs, err := wal.Segments(*dir)
+	fail(err)
+	var logBytes int64
+	for _, s := range segs {
+		if st, err := os.Stat(filepath.Join(*dir, s.Name)); err == nil {
+			logBytes += st.Size()
+		}
+	}
+	fmt.Printf("store:        %s\n", *dir)
+	fmt.Printf("index:        %s (%.2f MB)\n", kind, db.IndexSizeMB())
+	fmt.Printf("trajectories: %d (%d segments)\n", db.Len(), db.NumSegments())
+	fmt.Printf("wal:          %d segment file(s), %d bytes\n", len(segs), logBytes)
+}
+
+func runQuery(args []string) {
+	fs, dir, tree, sync := storeFlags("query")
+	queryID := fs.Uint("queryid", 0, "stored trajectory to use as the query (required)")
+	k := fs.Int("k", 1, "number of results")
+	fs.Parse(args)
+	requireDir(*dir)
+	if *queryID == 0 {
+		fail(fmt.Errorf("-queryid is required"))
+	}
+	db, _ := open(*dir, parseKind(*tree), parseSync(*sync))
+	defer db.Close()
+	q := db.Get(mstsearch.ID(*queryID))
+	if q == nil {
+		fail(fmt.Errorf("trajectory %d not in store", *queryID))
+	}
+	qc := q.Clone()
+	qc.ID = 0
+	resp, err := db.Query(context.Background(), mstsearch.Request{
+		Q:        &qc,
+		Interval: mstsearch.Interval{T1: qc.StartTime(), T2: qc.EndTime()},
+		K:        *k,
+		Options:  mstsearch.DefaultOptions(),
+	})
+	fail(err)
+	fmt.Printf("k=%d MST over [%g, %g]: %d results\n", *k, qc.StartTime(), qc.EndTime(), len(resp.Results))
+	for i, r := range resp.Results {
+		fmt.Printf("%2d. trajectory %-6d DISSIM = %.6f\n", i+1, r.TrajID, r.Dissim)
+	}
+}
+
+func requireDir(dir string) {
+	if dir == "" {
+		fail(fmt.Errorf("-dir is required"))
+	}
+}
+
+func readCSV(path string) []mstsearch.Trajectory {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	trajs, err := mstsearch.ReadTrajectoriesCSV(f)
+	fail(err)
+	return trajs
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mststore:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrPowercut is the error every file operation returns once a
+// PowercutBudget has tripped: the simulated machine is off.
+var ErrPowercut = fmt.Errorf("%w: power cut", ErrInjected)
+
+// PowercutBudget coordinates a simulated power loss across every file of
+// a write path: after Limit bytes have been written through its files —
+// cumulatively, in write order — the write in flight stops mid-way and
+// every subsequent operation on every attached file fails with
+// ErrPowercut. It is the crash-point injector for the WAL property
+// tests: sweeping Limit across [0, total bytes] visits every possible
+// torn-write state, including cuts inside a record frame.
+//
+// Crash finalizes the simulation by materializing what stable storage
+// would hold after the power loss. Data written before the cut survives
+// in full in the optimistic model (the OS got it to disk); with
+// dropUnsynced, a file's writes since its last successful Sync are
+// discarded too — the pessimistic model where only fsync-acknowledged
+// bytes survive. Real crashes land between the two, so a write path
+// correct under both extremes is correct everywhere in between (each
+// file's surviving content is always some prefix of its writes, which is
+// exactly the state an append-only log must tolerate).
+//
+// A PowercutBudget is safe for concurrent use.
+type PowercutBudget struct {
+	mu        sync.Mutex
+	remaining int64
+	unlimited bool
+	tripped   bool
+	written   int64
+	files     []*PowercutFile
+}
+
+// NewPowercutBudget creates a budget that cuts power after limit bytes
+// (limit < 0 = never trips on its own; Trip can still force it).
+func NewPowercutBudget(limit int64) *PowercutBudget {
+	return &PowercutBudget{remaining: limit, unlimited: limit < 0}
+}
+
+// Trip cuts the power immediately: every subsequent operation on every
+// attached file fails.
+func (b *PowercutBudget) Trip() {
+	b.mu.Lock()
+	b.tripped = true
+	b.mu.Unlock()
+}
+
+// Tripped reports whether the power is out.
+func (b *PowercutBudget) Tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+// take consumes up to n bytes of budget, returning how many may still be
+// written; the budget trips when it cannot cover the full write.
+func (b *PowercutBudget) take(n int) (allowed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped {
+		return 0
+	}
+	if b.unlimited {
+		b.written += int64(n)
+		return n
+	}
+	if int64(n) <= b.remaining {
+		b.remaining -= int64(n)
+		b.written += int64(n)
+		return n
+	}
+	allowed = int(b.remaining)
+	b.remaining = 0
+	b.written += int64(allowed)
+	b.tripped = true
+	return allowed
+}
+
+// Written reports the cumulative bytes written through the budget's
+// files — a dry run with an unlimited budget uses it to size the
+// crash-offset sweep.
+func (b *PowercutBudget) Written() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.written
+}
+
+// Open wraps the file at path (created, truncated) in a PowercutFile
+// attached to this budget. The signature matches the wal package's
+// OpenFile seam.
+func (b *PowercutBudget) Open(path string) (*PowercutFile, error) {
+	b.mu.Lock()
+	tripped := b.tripped
+	b.mu.Unlock()
+	if tripped {
+		return nil, ErrPowercut
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PowercutFile{f: f, path: path, b: b}
+	b.mu.Lock()
+	b.files = append(b.files, pf)
+	b.mu.Unlock()
+	return pf, nil
+}
+
+// Crash finalizes the simulation: it closes every attached file and,
+// when dropUnsynced is set, truncates each to the length it had at its
+// last successful Sync — modelling a kernel that never flushed the
+// un-fsynced tail. The files on disk afterwards are exactly what a
+// process starting after the power loss would find.
+func (b *PowercutBudget) Crash(dropUnsynced bool) error {
+	b.mu.Lock()
+	b.tripped = true
+	files := append([]*PowercutFile(nil), b.files...)
+	b.mu.Unlock()
+	for _, pf := range files {
+		if err := pf.crash(dropUnsynced); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PowercutFile is an append-only file whose writes draw on a shared
+// PowercutBudget. It implements the wal package's File seam (io.Writer,
+// Sync, Close).
+type PowercutFile struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	b       *PowercutBudget
+	written int64 // bytes physically written
+	synced  int64 // written at the last successful Sync
+	closed  bool
+}
+
+// Write writes as many bytes as the budget allows. A write the budget
+// cannot fully cover is written partially — the torn write — and fails
+// with ErrPowercut.
+func (p *PowercutFile) Write(data []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, os.ErrClosed
+	}
+	allowed := p.b.take(len(data))
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = p.f.Write(data[:allowed])
+		p.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	if allowed < len(data) {
+		return n, ErrPowercut
+	}
+	return n, nil
+}
+
+// Sync flushes to stable storage; after a power cut it fails and the
+// unsynced tail stays at risk.
+func (p *PowercutFile) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return os.ErrClosed
+	}
+	if p.b.Tripped() {
+		return ErrPowercut
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	p.synced = p.written
+	return nil
+}
+
+// Close closes the underlying file (the budget keeps the path for
+// Crash-time truncation).
+func (p *PowercutFile) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closeLocked()
+}
+
+// closeLocked closes the underlying file. Callers must hold p.mu.
+func (p *PowercutFile) closeLocked() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.f.Close()
+}
+
+// crash closes the file and optionally discards its unsynced tail.
+func (p *PowercutFile) crash(dropUnsynced bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.closeLocked(); err != nil {
+		return err
+	}
+	if dropUnsynced && p.synced < p.written {
+		return os.Truncate(p.path, p.synced)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPowercutStopsWritesAtBudget(t *testing.T) {
+	dir := t.TempDir()
+	b := NewPowercutBudget(10)
+	f, err := b.Open(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("123456")); n != 6 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	// 4 bytes of budget left: the 6-byte write tears after 4.
+	n, err := f.Write([]byte("abcdef"))
+	if n != 4 || !errors.Is(err, ErrPowercut) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if !b.Tripped() {
+		t.Fatal("budget must trip on exhaustion")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPowercut) {
+		t.Fatalf("post-cut write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowercut) {
+		t.Fatalf("post-cut sync: %v", err)
+	}
+	if _, err := b.Open(filepath.Join(dir, "log2")); !errors.Is(err, ErrPowercut) {
+		t.Fatalf("post-cut open: %v", err)
+	}
+	if err := b.Crash(false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "123456abcd" {
+		t.Fatalf("surviving content %q, want the 10-byte prefix", raw)
+	}
+}
+
+func TestPowercutDropUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	b := NewPowercutBudget(-1)
+	path := filepath.Join(dir, "log")
+	f, err := b.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	b.Trip()
+	if err := b.Crash(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "durable" {
+		t.Fatalf("after drop-unsynced crash got %q, want only the synced prefix", raw)
+	}
+
+	// The optimistic model keeps everything written before the cut.
+	b2 := NewPowercutBudget(-1)
+	f2, err := b2.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Crash(false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "durable-volatile" {
+		t.Fatalf("after keep-unsynced crash got %q", raw)
+	}
+}
+
+func TestPowercutBudgetSpansFiles(t *testing.T) {
+	dir := t.TempDir()
+	b := NewPowercutBudget(8)
+	f1, err := b.Open(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := b.Open(filepath.Join(dir, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	// 3 bytes left, consumed from the second file.
+	if n, err := f2.Write([]byte("abcde")); n != 3 || !errors.Is(err, ErrPowercut) {
+		t.Fatalf("cross-file budget: n=%d err=%v", n, err)
+	}
+	if _, err := f1.Write([]byte("x")); !errors.Is(err, ErrPowercut) {
+		t.Fatalf("sibling file must see the cut: %v", err)
+	}
+	if err := b.Crash(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowercutZeroBudget(t *testing.T) {
+	dir := t.TempDir()
+	b := NewPowercutBudget(0)
+	f, err := b.Open(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrPowercut) {
+		t.Fatalf("zero budget write: n=%d err=%v", n, err)
+	}
+	if err := b.Crash(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("zero budget surviving bytes: %q", raw)
+	}
+}

@@ -1,0 +1,13 @@
+package wal
+
+import "mstsearch/internal/obs"
+
+// Process-wide WAL metrics in the obs registry. Handles resolve once at
+// init; each log operation costs at most one atomic add, and a database
+// without a WAL (the in-memory mode) never touches them at all.
+var (
+	metAppends     = obs.Default.Counter("wal.appends")
+	metFsyncs      = obs.Default.Counter("wal.fsyncs")
+	metReplayed    = obs.Default.Counter("wal.replayed")
+	metTruncations = obs.Default.Counter("wal.truncations")
+)

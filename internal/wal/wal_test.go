@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendN appends n records with recognizable payloads and returns them.
+func appendN(t *testing.T, l *Log, start, n int) []Record {
+	t.Helper()
+	var recs []Record
+	for i := start; i < start+n; i++ {
+		typ := uint8(1 + i%2)
+		payload := []byte(fmt.Sprintf("record-%04d", i))
+		if err := l.Append(typ, payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		recs = append(recs, Record{Type: typ, Payload: payload})
+	}
+	return recs
+}
+
+func sameRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got (%d, %q), want (%d, %q)",
+				i, got[i].Type, got[i].Payload, want[i].Type, want[i].Payload)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{PolicyAlways, PolicyGrouped, PolicyNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, recs, err := Open(dir, 0, Options{Policy: policy, GroupEvery: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 0 {
+				t.Fatalf("fresh log replayed %d records", len(recs))
+			}
+			want := appendN(t, l, 0, 25)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, got, err := Open(dir, 0, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			sameRecords(t, got, want)
+		})
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 0, 40) // ~20 B frames: many rotations
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 4 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	for _, s := range segs {
+		if s.Epoch != 0 {
+			t.Fatalf("unexpected epoch %d", s.Epoch)
+		}
+	}
+	_, got, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, got, want)
+}
+
+// TestTornTailEveryCut truncates the final segment at every byte offset:
+// replay must always succeed, yielding a prefix of the appended records,
+// and a subsequent append/replay cycle must stay consistent.
+func TestTornTailEveryCut(t *testing.T) {
+	build := func(dir string) []Record {
+		l, _, err := Open(dir, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := appendN(t, l, 0, 8)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	refDir := t.TempDir()
+	want := build(refDir)
+	segs, err := Segments(refDir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one segment: %v, %v", segs, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(refDir, segs[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segs[0].Name)
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, got, err := Open(dir, 0, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("cut %d: more records out than in", cut)
+		}
+		sameRecords(t, got, want[:len(got)])
+		// The log must accept appends after tail truncation and replay
+		// the combined sequence next time.
+		if err := l.Append(9, []byte("after-crash")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got2, err := Open(dir, 0, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		sameRecords(t, got2, append(append([]Record{}, want[:len(got)]...), Record{Type: 9, Payload: []byte("after-crash")}))
+	}
+}
+
+// TestMidLogDamageIsCorruption flips a byte inside an early frame — with
+// valid frames after it — and in a non-final segment: both must surface
+// ErrWALCorrupt rather than silently dropping committed records.
+func TestMidLogDamageIsCorruption(t *testing.T) {
+	t.Run("damaged frame before valid ones", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _, err := Open(dir, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 0, 6)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := Segments(dir)
+		path := filepath.Join(dir, segs[0].Name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[headerSize+8] ^= 0xFF // inside the first frame's payload
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(dir, 0, Options{}); !errors.Is(err, ErrWALCorrupt) {
+			t.Fatalf("mid-log damage: got %v, want ErrWALCorrupt", err)
+		}
+	})
+
+	t.Run("damage in non-final segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _, err := Open(dir, 0, Options{SegmentBytes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 0, 12)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := Segments(dir)
+		if len(segs) < 2 {
+			t.Fatalf("need several segments, got %d", len(segs))
+		}
+		path := filepath.Join(dir, segs[0].Name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncating a non-final segment is damage even at the tail.
+		if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(dir, 0, Options{}); !errors.Is(err, ErrWALCorrupt) {
+			t.Fatalf("non-final segment damage: got %v, want ErrWALCorrupt", err)
+		}
+	})
+}
+
+func TestEpochIsolationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l0, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l0, 0, 5)
+	if err := l0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new epoch ignores epoch-0 records.
+	l1, recs, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("epoch 1 replayed %d epoch-0 records", len(recs))
+	}
+	want := appendN(t, l1, 100, 3)
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := RemoveEpochsBelow(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Epoch < 1 {
+			t.Fatalf("epoch-0 segment %s survived truncation", s.Name)
+		}
+	}
+	_, got, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, got, want)
+}
+
+func TestSizeTracksAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Size()
+	if err := l.Append(1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if grow := l.Size() - before; grow != 100+frameOverhead {
+		t.Fatalf("size grew %d, want %d", grow, 100+frameOverhead)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Size survives reopen (same epoch accumulates).
+	l2, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() < 100+frameOverhead {
+		t.Fatalf("reopened size %d lost the appended record", l2.Size())
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("x")); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after close must fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close must be a no-op: %v", err)
+	}
+}
+
+func TestFrameCodecEdgeCases(t *testing.T) {
+	// Empty payload round-trips.
+	b := EncodeFrame(nil, 7, nil)
+	rec, n, err := DecodeFrame(b)
+	if err != nil || n != len(b) || rec.Type != 7 || len(rec.Payload) != 0 {
+		t.Fatalf("empty payload: %v %d %+v", err, n, rec)
+	}
+	// A frame claiming an absurd length fails cleanly.
+	bad := make([]byte, 32)
+	binary.LittleEndian.PutUint32(bad, 1<<30)
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, errFrameBad) {
+		t.Fatalf("absurd length: %v", err)
+	}
+	// Truncation anywhere inside a frame reads as torn.
+	full := EncodeFrame(nil, 3, []byte("payload"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Fatalf("cut %d decoded", cut)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"mstsearch/internal/tbtree"
 	"mstsearch/internal/tdtr"
 	"mstsearch/internal/trajectory"
+	"mstsearch/internal/wal"
 )
 
 // Core model types, re-exported from the internal trajectory package.
@@ -209,6 +210,15 @@ type DB struct {
 
 	warm *storage.SharedPool // optional warm buffer shared across queries
 
+	// Durable mode (OpenDurable): the write-ahead log mutations journal
+	// into, the directory holding it and the checkpoint snapshots, and
+	// the options the DB was opened with. All nil/zero for an in-memory
+	// DB — the mutation path then never touches the wal package.
+	wal   *wal.Log
+	dir   string
+	epoch uint32
+	dopt  DurableOptions
+
 	// pagerWrap, when set, wraps the pager underneath each per-query
 	// buffer pool — the fault-injection / instrumentation seam.
 	pagerWrap func(Pager) Pager
@@ -306,7 +316,10 @@ func NewDB(kind IndexKind, trajs []Trajectory) (*DB, error) {
 // ErrDuplicateID reports an Add with an already-stored trajectory ID.
 var ErrDuplicateID = errors.New("mstsearch: duplicate trajectory id")
 
-// Add validates and indexes one trajectory.
+// Add validates and indexes one trajectory. On a durable DB the
+// trajectory is journaled to the write-ahead log — and, under the
+// default SyncAlways policy, fsynced — before it is applied, so a nil
+// return means the mutation survives a crash.
 func (db *DB) Add(tr Trajectory) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("mstsearch: %w", err)
@@ -316,6 +329,21 @@ func (db *DB) Add(tr Trajectory) error {
 	if _, dup := db.byID[tr.ID]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, tr.ID)
 	}
+	if db.wal != nil {
+		if err := db.wal.Append(recAdd, encodeAddRecord(&tr)); err != nil {
+			return fmt.Errorf("mstsearch: journal add: %w", err)
+		}
+	}
+	if err := db.applyAddLocked(tr); err != nil {
+		return err
+	}
+	return db.maybeCheckpointLocked()
+}
+
+// applyAddLocked indexes a pre-validated, non-duplicate trajectory —
+// the journal-free half of Add, shared with WAL replay. Callers must
+// hold db.mu (write side).
+func (db *DB) applyAddLocked(tr Trajectory) error {
 	switch db.kind {
 	case TBTree:
 		if err := db.tb.InsertTrajectory(&tr); err != nil {
@@ -366,6 +394,9 @@ func (db *DB) newWarmPool() *storage.SharedPool {
 // The new segment is indexed immediately and is visible to subsequent
 // queries. The sample's timestamp must be strictly after the trajectory's
 // current end.
+// On a durable DB the sample is journaled (and, under SyncAlways,
+// fsynced) before it is applied, so a nil return means the mutation
+// survives a crash.
 func (db *DB) AppendSample(id ID, s Sample) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -373,13 +404,29 @@ func (db *DB) AppendSample(id ID, s Sample) error {
 	if !ok {
 		return fmt.Errorf("mstsearch: unknown trajectory %d", id)
 	}
-	tr := &db.trajs[i]
-	last := tr.Samples[len(tr.Samples)-1]
+	last := db.trajs[i].Samples[len(db.trajs[i].Samples)-1]
 	if s.T <= last.T {
 		return fmt.Errorf("mstsearch: sample at t=%g not after trajectory end t=%g", s.T, last.T)
 	}
+	if db.wal != nil {
+		if err := db.wal.Append(recAppend, encodeAppendRecord(id, s)); err != nil {
+			return fmt.Errorf("mstsearch: journal append: %w", err)
+		}
+	}
+	if err := db.applyAppendLocked(i, s); err != nil {
+		return err
+	}
+	return db.maybeCheckpointLocked()
+}
+
+// applyAppendLocked indexes one pre-validated sample onto the trajectory
+// at store index i — the journal-free half of AppendSample, shared with
+// WAL replay. Callers must hold db.mu (write side).
+func (db *DB) applyAppendLocked(i int, s Sample) error {
+	tr := &db.trajs[i]
+	last := tr.Samples[len(tr.Samples)-1]
 	e := index.LeafEntry{
-		TrajID: id,
+		TrajID: tr.ID,
 		SeqNo:  uint32(tr.NumSegments()),
 		Seg: geom.Segment{
 			A: geom.STPoint{X: last.X, Y: last.Y, T: last.T},
@@ -417,6 +464,14 @@ func (db *DB) AppendSample(id ID, s Sample) error {
 func (db *DB) Recover() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.recoverLocked()
+}
+
+// recoverLocked rebuilds the paged index from the trajectory store — the
+// body of Recover, shared with the durable open path (which must make a
+// snapshot-loaded TB-tree or STR-tree writable before replaying the
+// log). Callers must hold db.mu (write side).
+func (db *DB) recoverLocked() error {
 	file := storage.NewFile(db.file.PageSize())
 	var (
 		rt *rtree.Tree

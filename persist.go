@@ -9,11 +9,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"mstsearch/internal/rtree"
 	"mstsearch/internal/storage"
 	"mstsearch/internal/strtree"
 	"mstsearch/internal/tbtree"
+	"mstsearch/internal/wal"
 )
 
 // Snapshot format (little endian):
@@ -43,29 +45,51 @@ var (
 )
 
 // Save writes the whole database — index pages and trajectory store — to
-// path atomically (write to a temp file, then rename). Save takes the
+// path atomically and durably: the snapshot is assembled in a uniquely
+// named temp file in the target directory, fsynced, renamed over path,
+// and the directory is fsynced so the rename itself survives a crash.
+// Concurrent Saves to the same path cannot clobber each other's temp
+// file (each gets its own), and a crash at any point leaves either the
+// old snapshot or the new one — never a torn mix. Save takes the
 // database's read lock, so it snapshots a consistent state even while
 // queries run.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return db.saveLocked(path)
+}
+
+// saveLocked is Save without the locking, shared with Checkpoint (which
+// already holds the write lock). Callers must hold db.mu (either side).
+func (db *DB) saveLocked(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
+	// Cleanup contract: the temp file never outlives a failed Save, and
+	// the first error wins — a close error on the failure path must not
+	// shadow the write error that caused it.
+	closed := false
+	defer func() {
+		if !closed {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
 
 	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
 
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return fail(err)
+		return err
 	}
 	meta := db.indexMeta()
 	hdr := []any{
@@ -76,50 +100,56 @@ func (db *DB) Save(path string) error {
 	}
 	for _, v := range hdr {
 		if err := write(v); err != nil {
-			return fail(err)
+			return err
 		}
 	}
 	for i := 0; i < db.file.NumPages(); i++ {
 		page, err := db.file.Read(storage.PageID(i))
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		if _, err := bw.Write(page); err != nil {
-			return fail(err)
+			return err
 		}
 	}
 	if err := write(uint32(len(db.trajs))); err != nil {
-		return fail(err)
+		return err
 	}
 	for i := range db.trajs {
 		tr := &db.trajs[i]
 		if err := write(uint32(tr.ID)); err != nil {
-			return fail(err)
+			return err
 		}
 		if err := write(uint32(len(tr.Samples))); err != nil {
-			return fail(err)
+			return err
 		}
 		for _, s := range tr.Samples {
 			if err := write([3]float64{s.X, s.Y, s.T}); err != nil {
-				return fail(err)
+				return err
 			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return fail(err)
+		return err
 	}
 	// The CRC of everything written so far, outside the checksummed region.
 	if err := binary.Write(f, binary.LittleEndian, crc.Sum32()); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	closed = true
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is on stable
+	// storage; without this a crash can resurrect the old snapshot — or
+	// no snapshot at all — after Save returned success.
+	return wal.SyncDir(dir)
 }
 
 // indexMeta returns the active tree's root metadata in a common shape.
@@ -181,6 +211,9 @@ func Load(path string) (*DB, error) {
 	}
 	if version != snapshotVersion {
 		return nil, fmt.Errorf("%w: %d", ErrSnapshotVersion, version)
+	}
+	if kind > uint8(STRTree) {
+		return nil, fmt.Errorf("%w: unknown index kind %d", ErrBadSnapshot, kind)
 	}
 	if pageSize == 0 || pageSize > 1<<20 {
 		return nil, fmt.Errorf("%w: page size %d", ErrBadSnapshot, pageSize)

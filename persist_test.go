@@ -1,7 +1,9 @@
 package mstsearch
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -277,8 +279,12 @@ func TestSaveIsAtomic(t *testing.T) {
 	if err := db.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
-		t.Fatal("temp file must not survive a successful save")
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files must not survive a successful save: %v", leftovers)
 	}
 	// Saving over an existing snapshot works and stays loadable.
 	if err := db.Save(path); err != nil {
@@ -315,5 +321,112 @@ func TestLoadRejectsFutureVersion(t *testing.T) {
 	_, err = Load(bad)
 	if !errors.Is(err, ErrSnapshotVersion) && !errors.Is(err, ErrSnapshotCRC) {
 		t.Fatalf("future version: got %v", err)
+	}
+}
+
+// patchSnapshot copies a snapshot with one byte rewritten and the
+// trailing CRC recomputed, so the corruption reaches the semantic check
+// it targets instead of stopping at the checksum gate.
+func patchSnapshot(t *testing.T, src, dst string, off int64, b byte) {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] = b
+	sum := crc32.ChecksumIEEE(raw[:len(raw)-4])
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], sum)
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadVersionMismatchReachesCheck pins the typed error for a
+// future-versioned snapshot whose checksum is valid: the version check
+// itself must reject it, not the CRC gate.
+func TestLoadVersionMismatchReachesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	db, err := NewDB(RTree3D, fleet(rng, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.mstdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Version is the u16 at bytes 6-7, after the 6-byte magic.
+	bad := filepath.Join(dir, "future.mstdb")
+	patchSnapshot(t, path, bad, 6, 99)
+	if _, err := Load(bad); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version with valid CRC: got %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// TestLoadKindMismatchReachesCheck pins the typed error for a snapshot
+// naming an index kind this build does not know, with a valid checksum.
+func TestLoadKindMismatchReachesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	db, err := NewDB(RTree3D, fleet(rng, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.mstdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Kind is the u8 at byte 8, after magic and version.
+	bad := filepath.Join(dir, "alien.mstdb")
+	patchSnapshot(t, path, bad, 8, 9)
+	_, err = Load(bad)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("unknown kind with valid CRC: got %v, want ErrBadSnapshot", err)
+	}
+	if errors.Is(err, ErrSnapshotCRC) {
+		t.Fatalf("unknown kind must be caught before the CRC gate: %v", err)
+	}
+}
+
+// TestSaveFailureLeavesNoTempFile forces the page-read path inside Save
+// to fail and verifies the error-path contract: the temp file is gone,
+// the original snapshot is untouched, and the first error is reported.
+func TestSaveFailureLeavesNoTempFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	db, err := NewDB(RTree3D, fleet(rng, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.mstdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := db.indexMeta().Root
+	if err := db.file.CorruptPage(root, 3); err != nil {
+		t.Fatal(err)
+	}
+	var pc ErrPageCorrupt
+	if err := db.Save(path); !errors.As(err, &pc) {
+		t.Fatalf("save over corrupt pages: got %v, want ErrPageCorrupt", err)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("failed save left temp files: %v", leftovers)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save modified the existing snapshot")
 	}
 }
