@@ -15,6 +15,19 @@ type BatchQuery struct {
 	Q      *Trajectory
 	T1, T2 float64
 	K      int
+
+	// Ctx, when non-nil, governs this slot alone: the slot aborts when
+	// either Ctx or the batch-level context is done, so a serving layer
+	// can coalesce requests with different deadlines onto one batch
+	// without the shortest deadline canceling its neighbours. Nil means
+	// the batch-level context alone.
+	Ctx context.Context
+
+	// Opts, when non-nil, overrides the batch-level Options for this slot
+	// (per-tenant budgets under a shared executor). Parallelism is still
+	// taken from the batch-level Options — it sizes the worker pool, a
+	// batch-wide property. Nil means the batch-level Options.
+	Opts *Options
 }
 
 // BatchResult is one query's outcome within a batch. Failures are
@@ -78,8 +91,10 @@ func (db *DB) KMostSimilarBatch(ctx context.Context, queries []BatchQuery, opts 
 			defer wg.Done()
 			for i := range work {
 				bq := queries[i]
+				slotCtx, slotOpts, stop := slotContext(ctx, bq, opts)
 				start := time.Now()
-				res, st, err := db.kMostSimilarOn(ctx, bp, bq.Q, bq.T1, bq.T2, bq.K, opts)
+				res, st, err := db.kMostSimilarOn(slotCtx, bp, bq.Q, bq.T1, bq.T2, bq.K, slotOpts)
+				stop()
 				out[i] = BatchResult{Results: res, Stats: st, Err: err}
 				d := metBatch.record(start, st.Degraded, err)
 				db.slow.observe("batch", d, bq.K, Interval{bq.T1, bq.T2}, st, err)
@@ -92,4 +107,33 @@ func (db *DB) KMostSimilarBatch(ctx context.Context, queries []BatchQuery, opts 
 	close(work)
 	wg.Wait()
 	return out
+}
+
+// slotContext resolves one batch slot's effective context and options:
+// the slot's own Ctx (linked to the batch context, so either aborts it)
+// and Opts when set, the batch-level values otherwise. stop releases the
+// linkage resources and must be called when the slot finishes.
+func slotContext(batchCtx context.Context, bq BatchQuery, batchOpts Options) (context.Context, Options, context.CancelFunc) {
+	opts := batchOpts
+	if bq.Opts != nil {
+		opts = *bq.Opts
+		opts.Parallelism = batchOpts.Parallelism // pool sizing stays batch-wide
+	}
+	if bq.Ctx == nil {
+		return batchCtx, opts, func() {}
+	}
+	ctx, stop := mergeCancel(bq.Ctx, batchCtx)
+	return ctx, opts, stop
+}
+
+// mergeCancel derives a context from primary that is additionally
+// canceled when secondary is done. The primary carries the values and
+// deadline; secondary contributes only its cancellation signal.
+func mergeCancel(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	unlink := context.AfterFunc(secondary, cancel)
+	return ctx, func() {
+		unlink()
+		cancel()
+	}
 }

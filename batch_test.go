@@ -5,10 +5,13 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 func batchFixture(t *testing.T, kind IndexKind, seed int64) (*DB, []Trajectory) {
 	t.Helper()
+	testutil.CheckGoroutines(t) // the batch worker pool must not outlive its call
 	rng := rand.New(rand.NewSource(seed))
 	trajs := fleet(rng, 40, 30)
 	db, err := NewDB(kind, trajs)

@@ -1,0 +1,185 @@
+// Command mstload drives load against a running mstserve and reports
+// latency and throughput in the same JSON shape the benchmark results
+// use (results/BENCH_*.json): a closed-loop pool of workers issues k-MST
+// queries for a fixed duration, recording per-request latency, shed and
+// degraded counts, then writes percentiles and queries/s.
+//
+// Usage:
+//
+//	mstserve -synthetic 200 -addr :8080 &
+//	mstload -addr http://127.0.0.1:8080 -workers 16 -duration 30s -o results/BENCH_PR6.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mstsearch/internal/server"
+)
+
+// result mirrors cmd/benchjson's Result so load numbers diff cleanly
+// against the checked-in benchmark documents.
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		workers  = flag.Int("workers", 16, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 30*time.Second, "load duration")
+		k        = flag.Int("k", 5, "k per query")
+		seed     = flag.Int64("seed", 1, "query workload seed")
+		name     = flag.String("name", "LoadSmoke", "result name")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cl := &server.Client{BaseURL: *addr, Tenant: "mstload", MaxAttempts: 3}
+	if _, err := cl.Health(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "mstload: server not healthy:", err)
+		os.Exit(1)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		shed      atomic.Int64
+		degraded  atomic.Int64
+		failed    atomic.Int64
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for ctx.Err() == nil {
+				req := randomQuery(rng, *k)
+				t0 := time.Now()
+				resp, err := cl.Query(ctx, req)
+				lat := time.Since(t0)
+				if err != nil {
+					var apiErr *server.APIError
+					switch {
+					case errors.As(err, &apiErr) && apiErr.Status == 429:
+						shed.Add(1)
+					case ctx.Err() != nil:
+						// driver shutting down, not a server failure
+					default:
+						failed.Add(1)
+					}
+					continue
+				}
+				if resp.Degraded {
+					degraded.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(latencies) == 0 {
+		fmt.Fprintln(os.Stderr, "mstload: no successful queries")
+		os.Exit(1)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p := func(q float64) time.Duration {
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+
+	rep := report{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Results: []result{{
+			Name:       fmt.Sprintf("%s/workers=%d", *name, *workers),
+			Package:    "mstsearch/internal/server",
+			Iterations: int64(len(latencies)),
+			NsPerOp:    float64(total.Nanoseconds()) / float64(len(latencies)),
+			Extra: map[string]float64{
+				"queries_per_s": float64(len(latencies)) / elapsed.Seconds(),
+				"p50_ms":        float64(p(0.50).Microseconds()) / 1000,
+				"p90_ms":        float64(p(0.90).Microseconds()) / 1000,
+				"p99_ms":        float64(p(0.99).Microseconds()) / 1000,
+				"shed":          float64(shed.Load()),
+				"degraded":      float64(degraded.Load()),
+				"failed":        float64(failed.Load()),
+			},
+		}},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstload:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mstload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mstload: %d queries, %.0f q/s, p50 %.2fms p99 %.2fms, %d shed, %d failed\n",
+		len(latencies), rep.Results[0].Extra["queries_per_s"],
+		rep.Results[0].Extra["p50_ms"], rep.Results[0].Extra["p99_ms"],
+		shed.Load(), failed.Load())
+}
+
+// randomQuery synthesizes a short query trajectory inside the unit
+// workspace the GSTD fleet lives in. The query interval is anchored on
+// the generated sample times themselves — deriving it independently
+// leaves the last sample an ulp short of T2 and trips the engine's
+// coverage check.
+func randomQuery(rng *rand.Rand, k int) server.QueryRequest {
+	const samples = 8
+	x, y := rng.Float64(), rng.Float64()
+	t1 := rng.Float64() * 0.5
+	dt := 0.4 / (samples - 1)
+	q := server.TrajectoryJSON{ID: 0, Samples: make([][3]float64, samples)}
+	for i := 0; i < samples; i++ {
+		x += (rng.Float64() - 0.5) * 0.05
+		y += (rng.Float64() - 0.5) * 0.05
+		q.Samples[i] = [3]float64{x, y, t1 + float64(i)*dt}
+	}
+	return server.QueryRequest{
+		Query: q,
+		T1:    q.Samples[0][2], T2: q.Samples[samples-1][2],
+		K: k, DeadlineMS: 2000,
+	}
+}

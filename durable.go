@@ -1,6 +1,7 @@
 package mstsearch
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"mstsearch/internal/index"
 	"mstsearch/internal/wal"
 )
 
@@ -360,12 +362,24 @@ func (db *DB) replayLocked(rec wal.Record) error {
 // mutations; queries run again as soon as it returns. It is a no-op
 // (with a typed error) on a non-durable DB.
 func (db *DB) Checkpoint() error {
+	return db.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint under a context, so a caller (an admin
+// endpoint, a maintenance cron) can put a deadline on the fold. The
+// context is checked at the state-machine's step boundaries — an expired
+// or canceled context aborts with an error wrapping ErrCanceled (and
+// ErrDeadlineExceeded when a deadline fired) before the next step starts.
+// Every prefix of the checkpoint protocol is crash-safe, so an aborted
+// checkpoint leaves a recoverable directory: whatever step completed
+// stands, the next checkpoint or open finishes the garbage collection.
+func (db *DB) CheckpointContext(ctx context.Context) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
 		return errNotDurable
 	}
-	return db.checkpointLocked()
+	return db.checkpointLocked(ctx)
 }
 
 // errNotDurable reports a durability operation on an in-memory DB.
@@ -375,14 +389,24 @@ var errNotDurable = errors.New("mstsearch: not a durable database (use OpenDurab
 // OpenDurable.
 var ErrNotDurable = errNotDurable
 
-// checkpointLocked runs the checkpoint state machine. Callers must hold
-// db.mu (write side) and have verified db.wal != nil.
-func (db *DB) checkpointLocked() error {
+// checkpointLocked runs the checkpoint state machine, honoring ctx at
+// step boundaries. Callers must hold db.mu (write side) and have
+// verified db.wal != nil.
+func (db *DB) checkpointLocked(ctx context.Context) error {
 	next := db.epoch + 1
+	if err := index.Canceled(ctx); err != nil {
+		return fmt.Errorf("mstsearch: checkpoint: %w", err)
+	}
 	// 1. Snapshot, atomically and durably. If this fails the old
 	//    snapshot + log still recover everything.
 	if err := db.saveLocked(filepath.Join(db.dir, snapshotName(next))); err != nil {
 		return err
+	}
+	if err := index.Canceled(ctx); err != nil {
+		// The snapshot stands but the epoch has not switched: recovery
+		// prefers snapshot-<next> with the old epoch's full log — every
+		// mutation is still covered exactly once.
+		return fmt.Errorf("mstsearch: checkpoint: %w", err)
 	}
 	// 2. Fresh log epoch. From here, recovery prefers snapshot-<next>
 	//    and replays only epoch-<next> records.
@@ -416,7 +440,7 @@ func (db *DB) maybeCheckpointLocked() error {
 	if db.wal == nil || db.dopt.CheckpointBytes <= 0 || db.wal.Size() < db.dopt.CheckpointBytes {
 		return nil
 	}
-	return db.checkpointLocked()
+	return db.checkpointLocked(context.Background())
 }
 
 // removeSnapshotsBelow deletes snapshots of epochs earlier than keep.

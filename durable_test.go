@@ -451,6 +451,44 @@ func TestDurableMisuse(t *testing.T) {
 	}
 }
 
+// TestCheckpointContextAborts: a dead context stops a checkpoint before
+// it mutates anything — the WAL keeps its entries, the epoch stays put,
+// and a later uncanceled checkpoint still succeeds on the same state.
+func TestCheckpointContextAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, RTree3D, DurableOptions{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	trajs := fleet(rng, 10, 6)
+	for i := range trajs {
+		if err := db.Add(trajs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore, epochBefore := db.wal.Size(), db.epoch
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = db.CheckpointContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled checkpoint: got %v, want ErrCanceled", err)
+	}
+	if db.wal.Size() != sizeBefore || db.epoch != epochBefore {
+		t.Fatalf("aborted checkpoint mutated state: size %d→%d epoch %d→%d",
+			sizeBefore, db.wal.Size(), epochBefore, db.epoch)
+	}
+
+	if err := db.CheckpointContext(context.Background()); err != nil {
+		t.Fatalf("checkpoint after aborted attempt: %v", err)
+	}
+	if db.epoch == epochBefore {
+		t.Fatal("successful checkpoint did not advance the epoch")
+	}
+}
+
 // TestCrashSweepLargeWorkloadSampled is the scaled-up sweep: a workload
 // several times the exhaustive one's write volume, sampled at a prime
 // stride so successive runs of the suite still cover diverse torn-frame

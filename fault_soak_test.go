@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mstsearch/internal/storage"
+	"mstsearch/internal/testutil"
 )
 
 // typedQueryError reports whether err belongs to the documented failure
@@ -315,6 +316,7 @@ func TestRecoverAfterCorruption(t *testing.T) {
 // never with silently wrong bytes — but now all of it flows through shared
 // shards under concurrency.
 func TestWarmStripedPoolSoak(t *testing.T) {
+	testutil.CheckGoroutines(t) // shared shards must not strand workers
 	rng := rand.New(rand.NewSource(177))
 	trajs := fleet(rng, 60, 40)
 	db, err := NewDB(TBTree, trajs)

@@ -29,13 +29,29 @@ import (
 // context.DeadlineExceeded too.
 var ErrCanceled = errors.New("query canceled")
 
+// ErrDeadlineExceeded refines ErrCanceled for the deadline case: a query
+// abandoned because its context's deadline expired (as opposed to an
+// explicit cancel). Every error wrapping it also wraps ErrCanceled — the
+// historical catch-all — and context.DeadlineExceeded, so existing
+// errors.Is call sites keep matching while deadline-aware callers (a
+// serving layer deciding between "client went away" and "request timed
+// out") can tell the two apart.
+var ErrDeadlineExceeded = fmt.Errorf("%w: deadline exceeded", ErrCanceled)
+
 // Canceled returns the typed cancellation error for ctx, or nil when the
-// context is still live.
+// context is still live: ErrDeadlineExceeded for an expired deadline,
+// plain ErrCanceled for an explicit cancel — both wrapping the context's
+// own error.
 func Canceled(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	default:
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
-	return nil
 }
 
 // RangeSearch returns every leaf entry whose bound intersects box —

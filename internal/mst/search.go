@@ -141,6 +141,10 @@ var ErrBadQuery = errors.New("mst: query trajectory must cover the query period"
 // or its deadline expired (it also wraps the context's own error).
 var ErrCanceled = index.ErrCanceled
 
+// ErrDeadlineExceeded refines ErrCanceled for the deadline case; errors
+// wrapping it also wrap ErrCanceled and context.DeadlineExceeded.
+var ErrDeadlineExceeded = index.ErrDeadlineExceeded
+
 // queueItem is a tree node awaiting processing, keyed by MINDIST. level is
 // the node's depth below the root (root = 0), carried for tracing.
 type queueItem struct {

@@ -34,6 +34,28 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is an instantaneous level — a queue depth, an in-flight request
+// count — that moves both ways, unlike the monotonic Counter. Updates are
+// single atomic adds, safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Histogram is a fixed-boundary histogram: values are counted into the
 // bucket of the first boundary they do not exceed, with one implicit
 // overflow bucket past the last boundary. Boundaries are fixed at
@@ -149,6 +171,7 @@ var IOBounds = []float64{
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
+	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 }
 
@@ -156,6 +179,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 	}
 }
@@ -173,6 +197,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counts[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -194,10 +230,14 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(r.counts)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for name, c := range r.counts {
 		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
@@ -209,6 +249,7 @@ func (r *Registry) Snapshot() Snapshot {
 // metric name.
 type Snapshot struct {
 	Counters   map[string]uint64
+	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
 }
 
@@ -218,8 +259,11 @@ type Snapshot struct {
 func (r *Registry) Expvar() expvar.Func {
 	return expvar.Func(func() any {
 		snap := r.Snapshot()
-		out := make(map[string]any, len(snap.Counters)+len(snap.Histograms))
+		out := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
 		for name, v := range snap.Counters {
+			out[name] = v
+		}
+		for name, v := range snap.Gauges {
 			out[name] = v
 		}
 		for name, h := range snap.Histograms {

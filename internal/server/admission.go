@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The admission ladder: every request first pays a token from its
+// tenant's bucket (per-tenant fairness — one chatty tenant throttles
+// itself, not its neighbours), then takes a slot from the global
+// concurrency limiter (the server never runs more queries than it is
+// sized for). When every slot is busy the request waits in a bounded
+// queue; when the queue is full — or the wait outlives its bound — the
+// request is shed with 429 + Retry-After instead of queueing without
+// limit. Shedding is the design: under overload a bounded queue keeps
+// latency for admitted requests flat and pushes backpressure to clients,
+// where the retrying client turns it into jittered backoff.
+
+// admission implements the ladder. All methods are safe for concurrent
+// use.
+type admission struct {
+	// Global concurrency limiter: a semaphore of cfg.MaxConcurrent slots
+	// plus a bounded count of waiters.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	waiters int              // requests queued for a slot (≤ queueDepth)
+	buckets map[string]*bucket
+
+	queueDepth int
+	queueWait  time.Duration
+	rate       float64 // tokens per second per tenant
+	burst      float64
+
+	now func() time.Time // injectable clock (tests)
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission sizes the ladder from the server config.
+func newAdmission(cfg Config) *admission {
+	return &admission{
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		buckets:    make(map[string]*bucket),
+		queueDepth: cfg.QueueDepth,
+		queueWait:  cfg.QueueWait,
+		rate:       cfg.TenantRPS,
+		burst:      cfg.TenantBurst,
+		now:        time.Now,
+	}
+}
+
+// shedError is an admission rejection: usually a 429 whose body says
+// which rung of the ladder shed the request, or a 499 when the client
+// disconnected while queued.
+type shedError struct {
+	status int
+	body   ErrorBody
+}
+
+func (e *shedError) Error() string { return e.body.Message }
+
+// admit walks the ladder for one request. On success it returns a
+// release function the caller must invoke when the request finishes; on
+// rejection it returns a *shedError carrying the 429 body. ctx aborts
+// the queue wait (a client that hangs up while queued never occupies a
+// slot).
+func (a *admission) admit(ctx context.Context, tenant string) (release func(), err *shedError) {
+	if wait, ok := a.takeToken(tenant); !ok {
+		return nil, &shedError{status: 429, body: ErrorBody{
+			Code:         CodeRateLimited,
+			Message:      "tenant " + tenant + " over its request rate",
+			Retryable:    true,
+			RetryAfterMS: retryAfterMS(wait),
+		}}
+	}
+
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, nil
+	default:
+	}
+
+	// Queue, boundedly.
+	a.mu.Lock()
+	if a.waiters >= a.queueDepth {
+		a.mu.Unlock()
+		return nil, &shedError{status: 429, body: ErrorBody{
+			Code:         CodeOverloaded,
+			Message:      "server at capacity: wait queue full",
+			Retryable:    true,
+			RetryAfterMS: retryAfterMS(a.queueWait),
+		}}
+	}
+	a.waiters++
+	gaugeQueueDepth.Set(int64(a.waiters))
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	defer func() {
+		a.mu.Lock()
+		a.waiters--
+		gaugeQueueDepth.Set(int64(a.waiters))
+		a.mu.Unlock()
+	}()
+
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, nil
+	case <-timer.C:
+		return nil, &shedError{status: 429, body: ErrorBody{
+			Code:         CodeOverloaded,
+			Message:      "server at capacity: queued past the wait bound",
+			Retryable:    true,
+			RetryAfterMS: retryAfterMS(a.queueWait),
+		}}
+	case <-ctx.Done():
+		// The client gave up while queued; nothing to send, but the
+		// caller still writes the typed envelope for the access log.
+		return nil, &shedError{status: StatusClientClosedRequest, body: ErrorBody{
+			Code:      CodeCanceled,
+			Message:   "client went away while queued",
+			Retryable: false,
+		}}
+	}
+}
+
+// takeToken debits one token from the tenant's bucket, reporting success
+// or the wait until the next token accrues.
+func (a *admission) takeToken(tenant string) (wait time.Duration, ok bool) {
+	if a.rate <= 0 {
+		return 0, true // rate limiting disabled
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, found := a.buckets[tenant]
+	now := a.now()
+	if !found {
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		deficit := 1 - b.tokens
+		return time.Duration(deficit / a.rate * float64(time.Second)), false
+	}
+	b.tokens--
+	return 0, true
+}

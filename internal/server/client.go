@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is the retrying HTTP client for the serving API. It speaks the
+// error-envelope contract: typed codes become *APIError values, the
+// Retry-After hint becomes the backoff floor, and jittered exponential
+// backoff absorbs 429/503 storms without synchronizing clients into
+// retry waves. Idempotent reads retry freely; ingest retries only when
+// the caller supplies an idempotency key, because replaying an
+// unacknowledged mutation without one could double-apply or trip a
+// spurious duplicate-id conflict.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Tenant, when set, rides every request as the X-Tenant header.
+	Tenant string
+	// MaxAttempts caps tries per call, first included (default 4).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule (default 25 ms); each
+	// retry waits base·2^attempt, half-jittered, floored at Retry-After.
+	BaseBackoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source; seeded lazily
+}
+
+// APIError is a typed failure from the server: the envelope body plus
+// the HTTP status it arrived under.
+type APIError struct {
+	Status int
+	Body   ErrorBody
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (http %d): %s", e.Body.Code, e.Status, e.Body.Message)
+}
+
+// Retryable reports whether the server marked this failure retryable.
+func (e *APIError) Retryable() bool { return e.Body.Retryable }
+
+// Query runs one k-MST query.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.call(ctx, "/v1/query", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch runs many k-MST queries as one request.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.call(ctx, "/v1/batch", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Range runs a window/interval range query.
+func (c *Client) Range(ctx context.Context, req RangeRequest) (*RangeResponse, error) {
+	var resp RangeResponse
+	if err := c.call(ctx, "/v1/range", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Nearest runs a historical point-NN query.
+func (c *Client) Nearest(ctx context.Context, req NearestRequest) (*NearestResponse, error) {
+	var resp NearestResponse
+	if err := c.call(ctx, "/v1/nearest", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Topology runs a topological classification query.
+func (c *Client) Topology(ctx context.Context, req TopologyRequest) (*TopologyResponse, error) {
+	var resp TopologyResponse
+	if err := c.call(ctx, "/v1/topology", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain runs a query with tracing and returns the cost transcript.
+func (c *Client) Explain(ctx context.Context, req QueryRequest) (*ExplainResponse, error) {
+	var resp ExplainResponse
+	if err := c.call(ctx, "/v1/explain", req, &resp, true, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Ingest stores a new trajectory. idemKey makes retries safe: with a
+// nonempty key the server replays the first outcome instead of
+// re-applying, so the client retries transient failures; with an empty
+// key the call never retries (a lost response would be unresolvable).
+func (c *Client) Ingest(ctx context.Context, req IngestRequest, idemKey string) (*IngestResponse, error) {
+	var resp IngestResponse
+	if err := c.call(ctx, "/v1/ingest", req, &resp, idemKey != "", idemKey); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Append extends a stored trajectory with one sample. Append is not
+// idempotent (re-appending duplicates the sample or trips the
+// monotonic-time check), so it never retries.
+func (c *Client) Append(ctx context.Context, req AppendRequest) (*AppendResponse, error) {
+	var resp AppendResponse
+	if err := c.call(ctx, "/v1/append", req, &resp, false, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches /healthz (no retries — health checks must report the
+// truth of the moment, not of the third attempt).
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp HealthResponse
+	if _, err := c.roundTrip(httpReq, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call POSTs one JSON request with the retry policy applied.
+func (c *Client) call(ctx context.Context, path string, req, resp any, idempotent bool, idemKey string) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	if !idempotent {
+		attempts = 1
+	}
+
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
+				return err
+			}
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		if c.Tenant != "" {
+			httpReq.Header.Set("X-Tenant", c.Tenant)
+		}
+		if idemKey != "" {
+			httpReq.Header.Set("Idempotency-Key", idemKey)
+		}
+		retryable, err := c.roundTrip(httpReq, resp)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("client: gave up after %d attempts: %w", attempts, last)
+}
+
+// roundTrip performs one attempt, decoding success into resp and
+// failure into an *APIError. The boolean reports whether a retry could
+// help (transport errors and retryable envelopes).
+func (c *Client) roundTrip(req *http.Request, resp any) (retryable bool, err error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	res, err := hc.Do(req)
+	if err != nil {
+		if req.Context().Err() != nil {
+			return false, req.Context().Err() // caller's deadline, not server trouble
+		}
+		return true, err // connection refused/reset: retryable
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, res.Body)
+		_ = res.Body.Close()
+	}()
+
+	if res.StatusCode >= 400 {
+		return c.decodeError(res, &APIError{Status: res.StatusCode})
+	}
+	if resp == nil {
+		return false, nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+		return false, fmt.Errorf("client: decode response: %w", err)
+	}
+	return false, nil
+}
+
+// decodeError reads a failure envelope, folding the Retry-After header
+// into the body's hint when the body lacks one.
+func (c *Client) decodeError(res *http.Response, apiErr *APIError) (bool, error) {
+	var env ErrorEnvelope
+	if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
+		// Not our envelope (proxy in the way, truncated body): synthesize.
+		env.Error = ErrorBody{
+			Code:      CodeInternal,
+			Message:   fmt.Sprintf("http %d with undecodable body", res.StatusCode),
+			Retryable: res.StatusCode == 429 || res.StatusCode >= 500,
+		}
+	}
+	if env.Error.RetryAfterMS == 0 {
+		if ra := res.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil {
+				env.Error.RetryAfterMS = secs * 1000
+			}
+		}
+	}
+	apiErr.Body = env.Error
+	return env.Error.Retryable, apiErr
+}
+
+// backoff computes the wait before the given retry attempt: exponential
+// from BaseBackoff, half-jittered, never below the server's Retry-After
+// hint.
+func (c *Client) backoff(attempt int, last error) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	// Half-jitter: [d/2, d). Full determinism would synchronize every
+	// shed client into retrying at the same instant — the exact storm
+	// the shedding was meant to break up.
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+
+	var apiErr *APIError
+	if errors.As(last, &apiErr) && apiErr.Body.RetryAfterMS > 0 {
+		if hint := time.Duration(apiErr.Body.RetryAfterMS) * time.Millisecond; d < hint {
+			d = hint
+		}
+	}
+	return d
+}
+
+// sleep waits d or until ctx dies.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

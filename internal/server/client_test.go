@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mstsearch/internal/testutil"
+)
+
+// flakyHandler fails the first n attempts with the given envelope, then
+// succeeds.
+type flakyHandler struct {
+	failures int32
+	status   int
+	body     ErrorBody
+	hits     atomic.Int32
+	keys     chan string // observed Idempotency-Key headers
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.keys != nil {
+		select {
+		case h.keys <- r.Header.Get("Idempotency-Key"):
+		default:
+		}
+	}
+	n := h.hits.Add(1)
+	if n <= h.failures {
+		writeShaped(w, h.status, h.body)
+		return
+	}
+	writeJSON(w, http.StatusOK, &QueryResponse{Results: []ResultJSON{{ID: 1}}})
+}
+
+func TestClientRetriesRetryableFailures(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 2, status: 429,
+		body: ErrorBody{Code: CodeOverloaded, Message: "full", Retryable: true, RetryAfterMS: 1},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	resp, err := cl.Query(context.Background(), QueryRequest{K: 1})
+	if err != nil {
+		t.Fatalf("query after retries: %v", err)
+	}
+	if len(resp.Results) != 1 || h.hits.Load() != 3 {
+		t.Fatalf("resp %+v after %d hits, want success on 3rd", resp, h.hits.Load())
+	}
+}
+
+func TestClientStopsOnNonRetryable(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 99, status: http.StatusBadRequest,
+		body: ErrorBody{Code: CodeBadRequest, Message: "bad k", Retryable: false},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	_, err := cl.Query(context.Background(), QueryRequest{K: -1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Body.Code != CodeBadRequest || apiErr.Retryable() {
+		t.Fatalf("envelope = %+v", apiErr)
+	}
+	if h.hits.Load() != 1 {
+		t.Fatalf("non-retryable error tried %d times, want 1", h.hits.Load())
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 99, status: 429,
+		body: ErrorBody{Code: CodeOverloaded, Message: "full", Retryable: true, RetryAfterMS: 1},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	_, err := cl.Query(context.Background(), QueryRequest{K: 1})
+	if err == nil {
+		t.Fatalf("want failure after exhausted attempts")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Fatalf("err = %v, want wrapped 429 APIError", err)
+	}
+	if h.hits.Load() != 3 {
+		t.Fatalf("tried %d times, want exactly MaxAttempts=3", h.hits.Load())
+	}
+}
+
+func TestClientNeverRetriesUnkeyedIngest(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 99, status: http.StatusServiceUnavailable,
+		body: ErrorBody{Code: CodeUnavailable, Message: "fault", Retryable: true, RetryAfterMS: 1},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond}
+	req := IngestRequest{Trajectory: TrajectoryJSON{ID: 1, Samples: [][3]float64{{0, 0, 0}, {1, 1, 1}}}}
+
+	// No idempotency key: one attempt only, even though the failure says
+	// retryable — replaying an unacknowledged mutation is not safe.
+	if _, err := cl.Ingest(context.Background(), req, ""); err == nil {
+		t.Fatalf("want error")
+	}
+	if h.hits.Load() != 1 {
+		t.Fatalf("unkeyed ingest tried %d times, want 1", h.hits.Load())
+	}
+
+	// With a key, retries are safe and the key rides every attempt.
+	h.hits.Store(0)
+	h.keys = make(chan string, 8)
+	if _, err := cl.Ingest(context.Background(), req, "key-7"); err == nil {
+		t.Fatalf("want error (handler always fails)")
+	}
+	if h.hits.Load() != 5 {
+		t.Fatalf("keyed ingest tried %d times, want MaxAttempts=5", h.hits.Load())
+	}
+	close(h.keys)
+	for k := range h.keys {
+		if k != "key-7" {
+			t.Fatalf("attempt missing idempotency key: %q", k)
+		}
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 1, status: 429,
+		body: ErrorBody{Code: CodeRateLimited, Message: "slow down", Retryable: true, RetryAfterMS: 150},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	start := time.Now()
+	if _, err := cl.Query(context.Background(), QueryRequest{K: 1}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if wait := time.Since(start); wait < 150*time.Millisecond {
+		t.Fatalf("retried after %v, before the 150ms Retry-After hint", wait)
+	}
+}
+
+func TestClientRespectsContext(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := &flakyHandler{
+		failures: 99, status: 429,
+		body: ErrorBody{Code: CodeOverloaded, Message: "full", Retryable: true, RetryAfterMS: 60_000},
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 10, BaseBackoff: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Query(ctx, QueryRequest{K: 1})
+	if err == nil {
+		t.Fatalf("want context error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("client slept through its context: %v", time.Since(start))
+	}
+}
+
+func TestClientSynthesizesEnvelopeForForeignErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	// A proxy-style failure: 502 with an HTML body, no envelope.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = w.Write([]byte("<html>bad gateway</html>"))
+	}))
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	_, err := cl.Query(context.Background(), QueryRequest{K: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Body.Code != CodeInternal || !apiErr.Body.Retryable {
+		t.Fatalf("synthesized envelope = %+v, want retryable internal", apiErr.Body)
+	}
+}
+
+// TestClientAgainstRealServer closes the loop: the retrying client
+// against a saturated real server eventually lands every request.
+func TestClientAgainstRealServer(t *testing.T) {
+	db := newTestDB(t, 40)
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 2
+	cfg.QueueDepth = 2
+	cfg.QueueWait = 20 * time.Millisecond
+	_, ts := newTestServer(t, db, cfg)
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 8, BaseBackoff: 5 * time.Millisecond}
+	done := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		go func() {
+			_, err := cl.Query(context.Background(), queryBody(3, 0))
+			done <- err
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("request %d never landed: %v", i, err)
+		}
+	}
+}
+
+// Guard: ErrorBody must round-trip JSON so client and server agree.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	in := ErrorEnvelope{Error: ErrorBody{Code: CodeOverloaded, Message: "m", Retryable: true, RetryAfterMS: 12}}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ErrorEnvelope
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed envelope: %+v != %+v", out, in)
+	}
+}

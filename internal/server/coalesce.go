@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	mstsearch "mstsearch"
+)
+
+// Request coalescing: many HTTP clients asking k-MST questions at once
+// is exactly the workload DB.KMostSimilarBatch was built for — one read
+// snapshot, one warm striped pool, a bounded worker pool — so the server
+// funnels concurrent single queries into micro-batches instead of
+// running each on its own cold pool. A collector goroutine gathers
+// requests that arrive within a short window (or until the batch is
+// full) and executes them as one batch; per-slot contexts keep each
+// request's own deadline and disconnect authoritative, so coalescing
+// never lets one slow client's deadline cancel its neighbours.
+
+// coalescer is the collector. One per server.
+type coalescer struct {
+	db     *mstsearch.DB
+	opts   mstsearch.Options // batch-level options (Parallelism etc.)
+	window time.Duration     // how long the collector waits to fill a batch
+	max    int               // max queries per batch
+
+	in   chan *pendingQuery
+	base context.Context // server lifetime; cancels in-flight batches on Close
+	done chan struct{}   // collector exited
+}
+
+// pendingQuery is one enqueued query and its reply channel.
+type pendingQuery struct {
+	bq    mstsearch.BatchQuery
+	reply chan mstsearch.BatchResult
+}
+
+// newCoalescer starts the collector goroutine.
+func newCoalescer(db *mstsearch.DB, base context.Context, opts mstsearch.Options, window time.Duration, max int) *coalescer {
+	c := &coalescer{
+		db:     db,
+		opts:   opts,
+		window: window,
+		max:    max,
+		in:     make(chan *pendingQuery),
+		base:   base,
+		done:   make(chan struct{}),
+	}
+	go c.collect()
+	return c
+}
+
+// do submits one query and waits for its slot's result. ctx is the
+// request's own (deadline-bearing) context: it rides into the batch as
+// the slot context, and if it dies before the batch even starts, the
+// wait below returns early while the slot later reports ErrCanceled to
+// nobody.
+func (c *coalescer) do(ctx context.Context, bq mstsearch.BatchQuery) (mstsearch.BatchResult, error) {
+	p := &pendingQuery{bq: bq, reply: make(chan mstsearch.BatchResult, 1)}
+	p.bq.Ctx = ctx
+	select {
+	case c.in <- p:
+	case <-ctx.Done():
+		return mstsearch.BatchResult{}, context.Cause(ctx)
+	case <-c.base.Done():
+		return mstsearch.BatchResult{}, context.Cause(c.base)
+	}
+	select {
+	case res := <-p.reply:
+		return res, nil
+	case <-ctx.Done():
+		// The slot still runs (its context is this one, so it aborts on
+		// its own); the reply channel is buffered, so the batch worker
+		// never blocks on an abandoned slot.
+		return mstsearch.BatchResult{}, context.Cause(ctx)
+	}
+}
+
+// collect is the collector loop: batch up, hand off, repeat. Each batch
+// executes on its own goroutine so a slow batch never stalls collection
+// of the next one.
+func (c *coalescer) collect() {
+	defer close(c.done)
+	for {
+		// Block for the batch's first member.
+		var first *pendingQuery
+		select {
+		case first = <-c.in:
+		case <-c.base.Done():
+			return
+		}
+		batch := []*pendingQuery{first}
+
+		// Gather followers until the window closes or the batch fills.
+		timer := time.NewTimer(c.window)
+	gather:
+		for len(batch) < c.max {
+			select {
+			case p := <-c.in:
+				batch = append(batch, p)
+			case <-timer.C:
+				break gather
+			case <-c.base.Done():
+				timer.Stop()
+				c.run(batch) // serve what we already accepted
+				return
+			}
+		}
+		timer.Stop()
+		go c.run(batch)
+	}
+}
+
+// run executes one gathered batch and distributes results to the
+// waiting handlers.
+func (c *coalescer) run(batch []*pendingQuery) {
+	queries := make([]mstsearch.BatchQuery, len(batch))
+	for i, p := range batch {
+		queries[i] = p.bq
+	}
+	ctrCoalesceBatch.Inc()
+	ctrCoalesceQuery.Add(uint64(len(batch)))
+	results := c.db.KMostSimilarBatch(c.base, queries, c.opts)
+	for i, p := range batch {
+		p.reply <- results[i] // buffered; never blocks
+	}
+}
+
+// close stops the collector and waits for it to exit. In-flight batches
+// are canceled through the base context by the server's Close.
+func (c *coalescer) close() {
+	<-c.done
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	mstsearch "mstsearch"
+	"mstsearch/internal/obs"
+)
+
+// Server metric families, in the process-wide obs registry (so they ride
+// the existing expvar export next to the db.query.* and storage.pool.*
+// families):
+//
+//	server.requests.<route>.total     requests that reached the route
+//	server.requests.<route>.errors    non-shed failures (typed envelopes)
+//	server.requests.<route>.shed      admission rejections (429s)
+//	server.requests.<route>.timeout   deadline-exceeded outcomes
+//	server.requests.<route>.seconds   latency histogram
+//	server.queue.depth                concurrency-limiter wait-queue depth
+//	server.coalesce.batches           coalesced batches executed
+//	server.coalesce.queries           k-MST queries answered via coalescing
+//
+// Handles resolve once at package init; recording is atomic adds on the
+// hot path.
+
+// routeMetrics is one route's instrument set.
+type routeMetrics struct {
+	total, errors, shed, timeout *obs.Counter
+	seconds                      *obs.Histogram
+}
+
+func newRouteMetrics(route string) *routeMetrics {
+	p := "server.requests." + route + "."
+	return &routeMetrics{
+		total:   obs.Default.Counter(p + "total"),
+		errors:  obs.Default.Counter(p + "errors"),
+		shed:    obs.Default.Counter(p + "shed"),
+		timeout: obs.Default.Counter(p + "timeout"),
+		seconds: obs.Default.Histogram(p+"seconds", obs.LatencyBounds),
+	}
+}
+
+// The served routes, one instrument set each.
+var (
+	metQuery      = newRouteMetrics("query")
+	metRange      = newRouteMetrics("range")
+	metNearest    = newRouteMetrics("nearest")
+	metTopology   = newRouteMetrics("topology")
+	metBatch      = newRouteMetrics("batch")
+	metIngest     = newRouteMetrics("ingest")
+	metAppend     = newRouteMetrics("append")
+	metExplain    = newRouteMetrics("explain")
+	metCheckpoint = newRouteMetrics("checkpoint")
+	metHealth     = newRouteMetrics("healthz")
+)
+
+// Queue and coalescing instruments.
+var (
+	gaugeQueueDepth  = obs.Default.Gauge("server.queue.depth")
+	ctrCoalesceBatch = obs.Default.Counter("server.coalesce.batches")
+	ctrCoalesceQuery = obs.Default.Counter("server.coalesce.queries")
+)
+
+// finish records one request outcome: latency always, then exactly one
+// of shed / timeout / errors when the request did not succeed.
+func (m *routeMetrics) finish(start time.Time, status int, err error) {
+	m.total.Inc()
+	m.seconds.Observe(time.Since(start).Seconds())
+	switch {
+	case status == 429:
+		m.shed.Inc()
+	case err != nil && errors.Is(err, mstsearch.ErrDeadlineExceeded):
+		m.timeout.Inc()
+	case err != nil || status >= 400:
+		m.errors.Inc()
+	}
+}

@@ -1,0 +1,128 @@
+// Package testutil holds shared test infrastructure. Its first resident
+// is the goroutine-leak checker the concurrency-heavy suites (batch
+// executor, striped-pool soak, the serving layer) arm at the top of each
+// test: a leaked worker is a deadlock or an unbounded-resource bug
+// waiting for production traffic to find it, so the tests fail on it
+// first.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines arms a goroutine-leak check for the test: it snapshots
+// the live goroutines now and, when the test finishes, fails the test if
+// goroutines born during the test are still alive after a grace period.
+// The grace period (bounded retries) absorbs goroutines that are mid-exit
+// — a worker that has left its loop but not yet returned — without
+// masking genuine leaks, and the failure message carries the stack of
+// every leaked goroutine so the culprit is named, not guessed at.
+//
+// Call it before starting any servers or pools so their goroutines count
+// as born during the test.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := goroutineStacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				var b strings.Builder
+				for _, stack := range leaked {
+					b.WriteString(stack)
+					b.WriteString("\n\n")
+				}
+				t.Errorf("goroutine leak: %d goroutines born during the test are still running:\n%s",
+					len(leaked), b.String())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// goroutineStacks captures every live goroutine's stack, keyed by
+// goroutine id.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if id := goroutineID(block); id != "" {
+			out[id] = block
+		}
+	}
+	return out
+}
+
+// goroutineID extracts the id from a "goroutine N [state]:" stack header
+// ("" for a malformed block).
+func goroutineID(block string) string {
+	if !strings.HasPrefix(block, "goroutine ") {
+		return ""
+	}
+	rest := block[len("goroutine "):]
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return ""
+}
+
+// leakedSince returns the stacks of goroutines alive now that were not in
+// the baseline snapshot, excluding runtime-owned housekeeping goroutines
+// the test did not create and cannot join.
+func leakedSince(base map[string]string) []string {
+	var leaked []string
+	for id, stack := range goroutineStacks() {
+		if _, existed := base[id]; existed {
+			continue
+		}
+		if benignGoroutine(stack) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	return leaked
+}
+
+// benignGoroutine reports whether a stack belongs to infrastructure the
+// test has no handle on: runtime housekeeping (GC workers, the scavenger,
+// finalizers), the testing framework's own plumbing, or os/signal's
+// watcher. Everything else — pools, servers, HTTP connections — is the
+// test's to shut down.
+func benignGoroutine(stack string) bool {
+	header, _, _ := strings.Cut(stack, "\n")
+	for _, state := range []string{"GC worker", "GC scavenge", "force gc", "finalizer wait", "GC sweep"} {
+		if strings.Contains(header, state) {
+			return true
+		}
+	}
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.(*F).Fuzz",
+		"testing.runFuzzing",
+		"testing.tRunner.func",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ReadTrace",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}

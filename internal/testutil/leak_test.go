@@ -1,0 +1,96 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingTB captures failures instead of failing, so the checker's
+// own verdicts can be asserted.
+type recordingTB struct {
+	testing.TB // panics on unimplemented methods — none are reached
+	cleanups   []func()
+	failures   []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Cleanup(f func()) {
+	r.cleanups = append(r.cleanups, f)
+}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckGoroutinesPassesWhenClean(t *testing.T) {
+	rec := &recordingTB{}
+	CheckGoroutines(rec)
+
+	// Spawn and join a goroutine: born during the "test", gone before
+	// cleanup — no leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+
+	rec.runCleanups()
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean test flagged as leaking: %v", rec.failures)
+	}
+}
+
+func TestCheckGoroutinesCatchesLeak(t *testing.T) {
+	rec := &recordingTB{}
+	CheckGoroutines(rec)
+
+	// A deliberately stranded goroutine. Release it after the check so
+	// it does not pollute later tests in the package.
+	leak := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-leak
+	}()
+	<-started
+	defer close(leak)
+
+	// Shrink the grace period's cost by running cleanup in a goroutine we
+	// time-bound; the checker polls for 5s before declaring the leak.
+	doneCh := make(chan struct{})
+	go func() {
+		rec.runCleanups()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("leak checker never returned")
+	}
+	if len(rec.failures) == 0 {
+		t.Fatal("stranded goroutine not reported")
+	}
+	if !strings.Contains(rec.failures[0], "goroutine leak") {
+		t.Fatalf("unexpected failure message: %q", rec.failures[0])
+	}
+}
+
+func TestBenignGoroutineFilters(t *testing.T) {
+	cases := []struct {
+		stack string
+		want  bool
+	}{
+		{"goroutine 5 [GC worker (idle)]:\nruntime.gcBgMarkWorker()", true},
+		{"goroutine 9 [chan receive]:\ntesting.(*T).Run(...)", true},
+		{"goroutine 12 [syscall]:\nos/signal.signal_recv()", true},
+		{"goroutine 33 [chan receive]:\nmain.worker()\n\tmain.go:10", false},
+	}
+	for _, tc := range cases {
+		if got := benignGoroutine(tc.stack); got != tc.want {
+			t.Errorf("benignGoroutine(%q) = %v, want %v", tc.stack, got, tc.want)
+		}
+	}
+}

@@ -250,6 +250,11 @@ type (
 //
 //   - ErrCanceled — the query's context was canceled or expired (the
 //     error also wraps context.Canceled / context.DeadlineExceeded);
+//   - ErrDeadlineExceeded — the deadline-expiry refinement of
+//     ErrCanceled: a query abandoned because its context's deadline
+//     passed, as opposed to an explicit cancel. Every error wrapping it
+//     also wraps ErrCanceled (existing errors.Is call sites keep
+//     working) and context.DeadlineExceeded;
 //   - ErrPageCorrupt — an index page failed checksum verification (torn
 //     write or bit rot); errors.As recovers the damaged page id, and
 //     DB.Recover rebuilds the index from the trajectory store;
@@ -258,9 +263,10 @@ type (
 //   - ErrBadQuery — the query trajectory does not cover the requested
 //     period, or the period itself is empty (t1 >= t2).
 var (
-	ErrCanceled = mst.ErrCanceled
-	ErrInjected = storage.ErrInjected
-	ErrBadQuery = mst.ErrBadQuery
+	ErrCanceled         = mst.ErrCanceled
+	ErrDeadlineExceeded = mst.ErrDeadlineExceeded
+	ErrInjected         = storage.ErrInjected
+	ErrBadQuery         = mst.ErrBadQuery
 )
 
 // ErrPageCorrupt is the typed page-corruption error; its Page field is the
