@@ -1,31 +1,56 @@
 // mstlint is the repository's invariant multichecker: it runs the custom
-// analyzers of internal/analysis (floatcmp, ctxflow, typederr, mutexcopy,
-// lockguard) over the module and exits non-zero on any finding.
+// analyzers of internal/analysis over the module and exits non-zero on
+// any unbaselined finding.
+//
+// Per-package analyzers (floatcmp, ctxflow, typederr, mutexcopy,
+// lockguard) check one package at a time; whole-program analyzers
+// (lockorder, fsyncorder, envelope, atomicfield, leakcheck) see every
+// requested package at once and pass facts across package boundaries.
 //
 // Usage:
 //
-//	go run ./cmd/mstlint ./...          # whole module (the CI gate)
-//	go run ./cmd/mstlint ./internal/mst # one package
-//	go run ./cmd/mstlint -list          # describe the analyzers
+//	go run ./cmd/mstlint ./...            # whole module (the CI gate)
+//	go run ./cmd/mstlint ./internal/mst   # one package
+//	go run ./cmd/mstlint -list            # describe the analyzers
+//	go run ./cmd/mstlint -json ./...      # findings as JSON
+//	go run ./cmd/mstlint -lockgraph ./... # dump the lock acquisition graph
 //
-// Findings are suppressed per line with a justified directive:
+// Findings management is baseline-driven. The checked-in baseline
+// (lint-baseline.json at the module root) inventories the findings the
+// tree is allowed to carry; it is diffed in both directions, so a new
+// finding fails the run and so does a baseline entry the run no longer
+// produces (stale allowance — shrink the baseline):
+//
+//	go run ./cmd/mstlint -baseline lint-baseline.json ./...
+//	go run ./cmd/mstlint -write-baseline lint-baseline.json ./...
+//
+// With no -baseline flag, lint-baseline.json at the module root is used
+// when it exists. Individual findings are suppressed per line with a
+// justified directive (at least ten characters of justification, and
+// the directive itself becomes a finding when it stops matching):
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // The checker is built only on the standard library's go/ast + go/types
-// (see internal/analysis), so it runs in hermetic build environments with
-// no module downloads.
+// (see internal/analysis), so it runs in hermetic build environments
+// with no module downloads.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mstsearch/internal/analysis"
+	"mstsearch/internal/analysis/atomicfield"
 	"mstsearch/internal/analysis/ctxflow"
+	"mstsearch/internal/analysis/envelope"
 	"mstsearch/internal/analysis/floatcmp"
+	"mstsearch/internal/analysis/fsyncorder"
+	"mstsearch/internal/analysis/leakcheck"
 	"mstsearch/internal/analysis/lockcheck"
+	"mstsearch/internal/analysis/lockorder"
 	"mstsearch/internal/analysis/typederr"
 )
 
@@ -35,10 +60,23 @@ var analyzers = []*analysis.Analyzer{
 	typederr.Analyzer,
 	lockcheck.MutexCopy,
 	lockcheck.LockGuard,
+	lockorder.Analyzer,
+	fsyncorder.Analyzer,
+	envelope.Analyzer,
+	atomicfield.Analyzer,
+	leakcheck.Analyzer,
 }
+
+// defaultBaseline is the baseline file consulted when -baseline is not
+// given, relative to the module root.
+const defaultBaseline = "lint-baseline.json"
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON instead of text")
+	baselinePath := flag.String("baseline", "", "diff findings against this baseline file (default: lint-baseline.json at the module root, when present)")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings as a baseline to this file and exit clean")
+	lockgraph := flag.Bool("lockgraph", false, "dump the inferred lock acquisition graph to stderr")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -46,21 +84,28 @@ func main() {
 			if len(a.Packages) > 0 {
 				scope = fmt.Sprint(a.Packages)
 			}
-			fmt.Printf("%-10s %s\n           scope: %s\n", a.Name, a.Doc, scope)
+			kind := "per-package"
+			if a.RunProgram != nil {
+				kind = "whole-program"
+			}
+			fmt.Printf("%-11s %s\n            %s; scope: %s\n", a.Name, a.Doc, kind, scope)
 		}
 		return
+	}
+	if *lockgraph {
+		lockorder.Debug = os.Stderr
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if err := run(patterns); err != nil {
+	if err := run(patterns, *jsonOut, *baselinePath, *writeBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "mstlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string) error {
+func run(patterns []string, jsonOut bool, baselinePath, writeBaselinePath string) error {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		return err
@@ -69,30 +114,106 @@ func run(patterns []string) error {
 	if err != nil {
 		return err
 	}
-	findings := 0
+	prog := &analysis.Program{}
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			return err
 		}
-		applicable := make([]*analysis.Analyzer, 0, len(analyzers))
-		for _, a := range analyzers {
-			if a.AppliesTo(path) {
-				applicable = append(applicable, a)
+		prog.Packages = append(prog.Packages, pkg)
+		if needsTests(path) {
+			tpkg, err := loader.LoadTests(path)
+			if err != nil {
+				return err
+			}
+			if tpkg != nil {
+				prog.Tests = append(prog.Tests, tpkg)
 			}
 		}
-		diags, err := analysis.Run(pkg, applicable)
+	}
+	diags, err := analysis.RunAll(prog, analyzers)
+	if err != nil {
+		return err
+	}
+	findings := analysis.RelFindings(diags, loader.ModuleDir)
+
+	if writeBaselinePath != "" {
+		f, err := os.Create(writeBaselinePath)
 		if err != nil {
 			return err
 		}
-		for _, d := range diags {
-			fmt.Println(d)
-			findings++
+		if err := analysis.WriteBaseline(f, analysis.NewBaseline(findings)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mstlint: wrote %d baseline entr%s to %s\n",
+			len(findings), plural(len(findings), "y", "ies"), writeBaselinePath)
+		return nil
+	}
+
+	baseline, err := loadBaseline(baselinePath, loader.ModuleDir)
+	if err != nil {
+		return err
+	}
+	fresh, stale := analysis.DiffBaseline(findings, baseline)
+
+	if jsonOut {
+		if err := analysis.WriteFindings(os.Stdout, fresh); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "mstlint: %d finding(s)\n", findings)
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "mstlint: stale baseline entry: %s in %s (%d allowed, no longer found): %q — shrink the baseline\n",
+			e.Analyzer, e.File, e.Count, e.Message)
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "mstlint: %d new finding(s), %d stale baseline entr%s\n",
+			len(fresh), len(stale), plural(len(stale), "y", "ies"))
 		os.Exit(1)
 	}
 	return nil
+}
+
+// needsTests reports whether any whole-program analyzer wants the
+// test-augmented view of the package.
+func needsTests(path string) bool {
+	for _, a := range analyzers {
+		if a.NeedTests && a.AppliesTo(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadBaseline reads the requested baseline, or the default one at the
+// module root when it exists; absent both, the baseline is empty and
+// every finding is fresh.
+func loadBaseline(path, moduleDir string) (analysis.Baseline, error) {
+	explicit := path != ""
+	if !explicit {
+		path = filepath.Join(moduleDir, defaultBaseline)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if !explicit && os.IsNotExist(err) {
+			return analysis.Baseline{}, nil
+		}
+		return analysis.Baseline{}, err
+	}
+	defer f.Close()
+	return analysis.ReadBaseline(f)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 // TestConcurrentQueriesAndMutations drives parallel k-MST, range, and NN
@@ -14,6 +16,7 @@ import (
 // locking: no data race, no panic, and every query either succeeds or
 // returns a typed error — never a torn read.
 func TestConcurrentQueriesAndMutations(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
 		t.Run(kind.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(71))
@@ -94,6 +97,7 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 // the canceled queries must come back with the typed error and the others
 // must be unaffected.
 func TestConcurrentCancellation(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(73))
 	trajs := fleet(rng, 40, 30)
 	db, err := NewDB(RTree3D, trajs)

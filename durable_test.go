@@ -13,6 +13,7 @@ import (
 
 	"mstsearch/internal/obs"
 	"mstsearch/internal/storage"
+	"mstsearch/internal/testutil"
 	"mstsearch/internal/wal"
 )
 
@@ -505,6 +506,7 @@ func TestCrashSweepLargeWorkloadSampled(t *testing.T) {
 // goroutines hammer the DB — the -race gate for the rebuild path's lock
 // discipline. Every query must come back correct or not at all.
 func TestRecoverDuringLiveQueries(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(16))
 	trajs := fleet(rng, 30, 20)
 	db, err := NewDB(TBTree, trajs)

@@ -8,8 +8,20 @@
 // bound computations, context propagation through the query stack, typed
 // errors across the storage boundary, and lock discipline on shared
 // structures — instead of trusting convention. The concrete rules live in
-// the analyzer subpackages (floatcmp, ctxflow, typederr, lockcheck) and
-// are driven by cmd/mstlint.
+// the analyzer subpackages (floatcmp, ctxflow, typederr, lockcheck,
+// lockorder, fsyncorder, envelope, atomicfield, leakcheck) and are driven
+// by cmd/mstlint.
+//
+// Analyzers come in two shapes. A per-package analyzer (Run) sees one
+// type-checked package at a time. A whole-program analyzer (RunProgram)
+// sees every loaded package of the module at once and may pass facts
+// between them — the shape the cross-cutting invariants need: a lock
+// acquisition graph spans the DB facade, the storage pools and the
+// serving layer; the error-envelope contract relates sentinels declared
+// in one package to a mapping function in another. An analyzer that sets
+// NeedTests additionally receives test-augmented package variants
+// (_test.go files type-checked into their package), which is how test
+// hygiene rules like leakcheck see test functions at all.
 //
 // # Suppression
 //
@@ -18,7 +30,10 @@
 //
 //	//lint:ignore <analyzer> <justification>
 //
-// The justification is mandatory; a bare directive is itself reported.
+// The justification is mandatory and must carry at least MinJustification
+// characters of text; a bare or under-justified directive is itself
+// reported, as is a directive that no longer suppresses anything (stale
+// suppressions rot into false documentation, so they are findings too).
 package analysis
 
 import (
@@ -30,19 +45,36 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// MinJustification is the minimum length, in characters, of the
+// justification text a //lint:ignore directive must carry. Ten characters
+// is too short for prose but long enough to rule out placeholder grunts
+// ("ok", "fixme", "x") that document nothing.
+const MinJustification = 10
+
+// Analyzer is one named invariant check. Exactly one of Run and
+// RunProgram must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and lint:ignore
 	// directives. Lower-case, no spaces.
 	Name string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
-	// Packages restricts which import paths the driver applies the
-	// analyzer to (exact match). Empty means every package. Test runners
-	// ignore this field and run the analyzer unconditionally.
+	// Packages restricts which import paths the driver applies a
+	// per-package analyzer to (exact match). Empty means every package.
+	// Test runners ignore this field and run the analyzer
+	// unconditionally. Whole-program analyzers scope themselves and
+	// ignore this field too.
 	Packages []string
-	// Run performs the check, reporting findings through the pass.
+	// Run performs a per-package check, reporting findings through the
+	// pass.
 	Run func(*Pass) error
+	// RunProgram performs a whole-program check over every loaded
+	// package at once.
+	RunProgram func(*ProgramPass) error
+	// NeedTests asks the driver to load test-augmented package variants
+	// (GoFiles + TestGoFiles type-checked together) into
+	// Program.Tests. Only meaningful for whole-program analyzers.
+	NeedTests bool
 }
 
 // AppliesTo reports whether the driver should run the analyzer on the
@@ -59,6 +91,13 @@ func (a *Analyzer) AppliesTo(path string) bool {
 	return false
 }
 
+// InspectPackage reports whether a whole-program analyzer should inspect
+// the package with the given import path: its declared scope, plus the
+// analysistest fixture path so fixtures exercise scoped analyzers.
+func (a *Analyzer) InspectPackage(path string) bool {
+	return a.AppliesTo(path) || path == "fixture"
+}
+
 // Pass carries one analyzer's view of one type-checked package.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -72,6 +111,49 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Program is the whole-program analysis unit: every package the driver
+// loaded, sharing one FileSet, plus test-augmented variants for the
+// analyzers that asked for them.
+type Program struct {
+	// Packages are the non-test packages, in load order.
+	Packages []*Package
+	// Tests are test-augmented package variants (same import paths as
+	// entries of Packages, with _test.go files type-checked in). Only
+	// populated when an analyzer in the run sets NeedTests, and only for
+	// packages that have in-package test files.
+	Tests []*Package
+}
+
+// Package returns the non-test package with the given import path, or
+// nil when the program does not hold it (whole-program analyzers degrade
+// gracefully when run on a subset of the module).
+func (prog *Program) Package(path string) *Package {
+	for _, p := range prog.Packages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// ProgramPass carries one whole-program analyzer's view of the program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Program  *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Position: p.Fset.Position(pos),
@@ -110,7 +192,17 @@ type suppressions struct {
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	s := &suppressions{byLine: map[string]map[int]*ignoreDirective{}}
+	seenFile := map[string]bool{}
 	for _, f := range files {
+		// The same source file can appear twice when a test-augmented
+		// package variant re-parses the non-test files; collect each
+		// file's directives once so the used-marking is not split across
+		// duplicate directive objects.
+		name := fset.Position(f.Pos()).Filename
+		if seenFile[name] {
+			continue
+		}
+		seenFile[name] = true
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -128,7 +220,17 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					})
 					continue
 				}
-				d := &ignoreDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " "), position: pos}
+				reason := strings.Join(fields[1:], " ")
+				if len(reason) < MinJustification {
+					s.bad = append(s.bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Position: pos,
+						Message: fmt.Sprintf("//lint:ignore justification %q is too short (%d chars, minimum %d): say why the finding is acceptable",
+							reason, len(reason), MinJustification),
+					})
+					continue
+				}
+				d := &ignoreDirective{analyzer: fields[0], reason: reason, position: pos}
 				m := s.byLine[pos.Filename]
 				if m == nil {
 					m = map[int]*ignoreDirective{}
@@ -139,6 +241,29 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 		}
 	}
 	return s
+}
+
+// unused reports the directives that suppressed nothing, restricted to
+// directives naming an analyzer that actually ran (a directive for an
+// out-of-scope analyzer is not stale, just out of scope this run).
+func (s *suppressions) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, m := range s.byLine {
+		for _, d := range m {
+			if d.used {
+				continue
+			}
+			if d.analyzer != "*" && !ran[d.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "lintdirective",
+				Position: d.position,
+				Message:  fmt.Sprintf("unused //lint:ignore %s directive: no %s finding on this line any more; delete it", d.analyzer, d.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // suppressed reports whether d is covered by a directive, marking the
@@ -158,24 +283,71 @@ func (s *suppressions) suppressed(d Diagnostic) bool {
 }
 
 // Run applies the analyzers to one loaded package and returns the
-// surviving diagnostics sorted by position. lint:ignore directives are
-// honoured; malformed ones surface as findings themselves.
+// surviving diagnostics sorted by position. Per-package analyzers run
+// unconditionally (the Packages scope is a driver concern); whole-program
+// analyzers see a single-package program whose test view is the same
+// package. lint:ignore directives are honoured; malformed, under-justified
+// and unused ones surface as findings themselves.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := &Program{Packages: []*Package{pkg}, Tests: []*Package{pkg}}
+	return run(prog, analyzers, false)
+}
+
+// RunAll applies the analyzers to a loaded program: per-package analyzers
+// to each package within their declared scope, whole-program analyzers to
+// the program as a whole. Suppressions are resolved across every file of
+// the program — including test files — so a directive can silence a
+// whole-program finding, and a directive that silences nothing is itself
+// reported.
+func RunAll(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(prog, analyzers, true)
+}
+
+func run(prog *Program, analyzers []*Analyzer, scoped bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		switch {
+		case a.RunProgram != nil:
+			pass := &ProgramPass{
+				Analyzer: a,
+				Fset:     progFset(prog),
+				Program:  prog,
+				diags:    &diags,
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			ran[a.Name] = true
+		case a.Run != nil:
+			for _, pkg := range prog.Packages {
+				if scoped && !a.AppliesTo(pkg.Path) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					diags:     &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				}
+				ran[a.Name] = true
+			}
 		}
 	}
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
+
+	var files []*ast.File
+	for _, pkg := range prog.Packages {
+		files = append(files, pkg.Files...)
+	}
+	for _, pkg := range prog.Tests {
+		files = append(files, pkg.Files...)
+	}
+	sup := collectSuppressions(progFset(prog), files)
 	kept := diags[:0]
 	for _, d := range diags {
 		if !sup.suppressed(d) {
@@ -183,6 +355,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	kept = append(kept, sup.bad...)
+	kept = append(kept, sup.unused(ran)...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Position, kept[j].Position
 		if a.Filename != b.Filename {
@@ -194,4 +367,16 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
 	return kept, nil
+}
+
+// progFset returns the program's shared FileSet (every package of one
+// loader shares one).
+func progFset(prog *Program) *token.FileSet {
+	if len(prog.Packages) > 0 {
+		return prog.Packages[0].Fset
+	}
+	if len(prog.Tests) > 0 {
+		return prog.Tests[0].Fset
+	}
+	return token.NewFileSet()
 }

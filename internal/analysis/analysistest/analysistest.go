@@ -44,7 +44,10 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkg, err := loader.LoadDir(dir, "fixture")
+	// Fixtures are loaded with their in-package _test.go files included,
+	// so analyzers that inspect test hygiene (leakcheck) can be exercised
+	// the same way as the rest.
+	pkg, err := loader.LoadDirTests(dir, "fixture")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}

@@ -1,0 +1,180 @@
+// Package atomicfield enforces atomic access discipline across the whole
+// program: a struct field that is accessed through sync/atomic anywhere —
+// an obs counter bumped with atomic.AddUint64, a pool stat read with
+// atomic.LoadUint64 — may never be read or written plainly anywhere else,
+// because one plain access next to one atomic access is a data race the
+// race detector only catches when the schedule cooperates. Fields of the
+// sync/atomic wrapper types (atomic.Uint64, atomic.Int64, …) are safe by
+// construction, but copying one copies the value non-atomically (and
+// defeats the wrapper), so value copies of atomic-typed fields are
+// flagged too.
+//
+// The check is whole-program because the mixed accesses that matter are
+// the cross-package ones: a counter updated atomically inside
+// internal/obs and read plainly from a server gauge is exactly the bug a
+// per-file check cannot see.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mstsearch/internal/analysis"
+)
+
+// Analyzer is the atomic-discipline invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a field accessed via sync/atomic anywhere must never be read or " +
+		"written plainly; atomic-typed fields must not be copied by value",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	// Pass 1: collect the fields whose address escapes into a sync/atomic
+	// call anywhere in the program, remembering one example position per
+	// field, plus the selector nodes that form those sanctioned accesses.
+	atomicFields := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fld := fieldOf(pkg.Info, sel)
+					if fld == nil {
+						continue
+					}
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+					sanctioned[sel] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag every other access. For plain fields in atomicFields,
+	// any selector outside a sanctioned &f-into-atomic argument is a racy
+	// mixed access. For fields of sync/atomic wrapper types, a selector
+	// is fine as a method-call receiver or under &, and a race as a value
+	// copy anywhere else.
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			walkWithParent(f, func(n ast.Node, parent ast.Node) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				fld := fieldOf(pkg.Info, sel)
+				if fld == nil {
+					return
+				}
+				if pos, isAtomic := atomicFields[fld]; isAtomic && !sanctioned[sel] {
+					pass.Reportf(sel.Pos(),
+						"plain access to field %s, which is accessed with sync/atomic at %s; mixing plain and atomic access is a data race — use the atomic operations everywhere",
+						fieldLabel(fld), pass.Fset.Position(pos))
+					return
+				}
+				if isAtomicWrapperType(fld.Type()) && !wrapperUseOK(parent, sel) {
+					pass.Reportf(sel.Pos(),
+						"field %s of type %s is copied by value; atomic values must be used through their methods (Load/Store/Add), never copied",
+						fieldLabel(fld), fld.Type())
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// wrapperUseOK reports whether an atomic-wrapper field selector is in a
+// sanctioned position: the receiver of a method selection (c.v.Load())
+// or under an address-of (&c.v passed along as a pointer).
+func wrapperUseOK(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel // c.v.Load — sel is the receiver part
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldLabel renders a field as pkg.Type.field when the owner is known.
+func fieldLabel(fld *types.Var) string {
+	label := fld.Name()
+	if fld.Pkg() != nil {
+		label = fld.Pkg().Name() + "." + label
+	}
+	return label
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic value
+// types (atomic.Uint64, atomic.Int64, atomic.Bool, …).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// walkWithParent walks the AST calling fn with each node and its parent.
+func walkWithParent(root ast.Node, fn func(n, parent ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		fn(n, parent)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

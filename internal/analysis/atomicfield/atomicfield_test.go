@@ -1,0 +1,15 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	diags := analysistest.Run(t, atomicfield.Analyzer, "testdata/atomicfield")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

@@ -1,0 +1,51 @@
+package fixture
+
+import "sync/atomic"
+
+// pool mirrors the striped buffer pool's stats block: plain uint64
+// counters bumped through sync/atomic on the hot path.
+type pool struct {
+	hits   uint64
+	misses uint64
+	evict  uint64 // only ever accessed plainly — not an atomic field
+}
+
+func (p *pool) hit() {
+	atomic.AddUint64(&p.hits, 1)
+	atomic.AddUint64(&p.misses, 0)
+}
+
+// snapshot reads one counter correctly and one plainly.
+func (p *pool) snapshot() (uint64, uint64) {
+	h := atomic.LoadUint64(&p.hits)
+	m := p.misses // want "plain access to field fixture.misses, which is accessed with sync/atomic"
+	return h, m
+}
+
+// reset writes an atomic counter plainly.
+func (p *pool) reset() {
+	p.hits = 0 // want "plain access to field fixture.hits, which is accessed with sync/atomic"
+	p.evict = 0
+}
+
+// gauges mirrors the obs registry: counters of the sync/atomic wrapper
+// types, safe by construction as long as nobody copies them.
+type gauges struct {
+	depth atomic.Int64
+	total atomic.Uint64
+}
+
+func (g *gauges) bump() {
+	g.depth.Add(1)
+	g.total.Store(g.total.Load() + 1)
+}
+
+func (g *gauges) export() int64 {
+	d := g.depth // want "field fixture.depth of type sync/atomic.Int64 is copied by value"
+	return d.Load()
+}
+
+// share passes a pointer to the wrapper, which is fine.
+func (g *gauges) share() *atomic.Uint64 {
+	return &g.total
+}

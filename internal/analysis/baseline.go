@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// The findings baseline: a checked-in, machine-readable inventory of the
+// lint findings the tree is allowed to carry. CI diffs the current run
+// against it in both directions — a finding not in the baseline is a
+// regression, and a baseline entry the run no longer produces is stale
+// documentation — so the baseline can only ever shrink deliberately.
+//
+// Entries are keyed by (analyzer, file, message) with an occurrence
+// count, not by line number: unrelated edits move lines constantly, and a
+// baseline that churns with them trains people to regenerate it blindly.
+
+// Finding is one diagnostic in machine-readable form. File is
+// slash-separated and relative to the module root, so the baseline is
+// stable across checkouts.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Column   int    `json:"column,omitempty"`
+	Message  string `json:"message"`
+}
+
+// RelFindings converts diagnostics to Findings with paths relative to
+// rootDir (falling back to the absolute path outside it).
+func RelFindings(diags []Diagnostic, rootDir string) []Finding {
+	out := make([]Finding, len(diags))
+	for i, d := range diags {
+		file := d.Position.Filename
+		if rel, err := filepath.Rel(rootDir, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			file = rel
+		}
+		out[i] = Finding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
+
+// WriteFindings renders findings as indented JSON (the -json output).
+func WriteFindings(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// BaselineEntry is one accepted finding class and how many times it may
+// occur.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the checked-in findings inventory.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineVersion is the current baseline file format version.
+const baselineVersion = 1
+
+// NewBaseline aggregates findings into a baseline (sorted, counted).
+func NewBaseline(fs []Finding) Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range fs {
+		counts[baselineKey{f.Analyzer, f.File, f.Message}]++
+	}
+	b := Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+type baselineKey struct{ analyzer, file, message string }
+
+// WriteBaseline renders the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("analysis: parsing baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return Baseline{}, fmt.Errorf("analysis: unsupported baseline version %d (want %d)", b.Version, baselineVersion)
+	}
+	for i, e := range b.Findings {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return Baseline{}, fmt.Errorf("analysis: baseline entry %d is incomplete", i)
+		}
+	}
+	return b, nil
+}
+
+// DiffBaseline compares the current findings against the baseline.
+// fresh are findings beyond the baseline's allowance (regressions);
+// stale are baseline entries the run no longer produces in full (the
+// baseline must shrink to match reality). A clean run against a clean
+// baseline returns two empty slices.
+func DiffBaseline(fs []Finding, b Baseline) (fresh []Finding, stale []BaselineEntry) {
+	allowance := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		allowance[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, f := range fs {
+		k := baselineKey{f.Analyzer, f.File, f.Message}
+		if allowance[k] > 0 {
+			allowance[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if left := allowance[k]; left > 0 {
+			se := e
+			se.Count = left
+			stale = append(stale, se)
+			allowance[k] = 0
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestRelFindings(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "envelope", Position: token.Position{Filename: "/mod/internal/wal/wal.go", Line: 60, Column: 5}, Message: "m"},
+		{Analyzer: "envelope", Position: token.Position{Filename: "/elsewhere/x.go", Line: 1, Column: 1}, Message: "m"},
+	}
+	fs := RelFindings(diags, "/mod")
+	if fs[0].File != "internal/wal/wal.go" {
+		t.Errorf("in-module path = %q, want internal/wal/wal.go", fs[0].File)
+	}
+	if !strings.Contains(fs[1].File, "elsewhere") {
+		t.Errorf("out-of-module path %q should stay absolute", fs[1].File)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "leakcheck", File: "a_test.go", Line: 10, Message: "leaky"},
+		{Analyzer: "leakcheck", File: "a_test.go", Line: 40, Message: "leaky"},
+		{Analyzer: "envelope", File: "wal.go", Line: 3, Message: "unmapped"},
+	}
+	b := NewBaseline(fs)
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d entries, want 2 (line-insensitive aggregation)", len(b.Findings))
+	}
+	// Sorted by analyzer: envelope first.
+	if b.Findings[0].Analyzer != "envelope" || b.Findings[0].Count != 1 {
+		t.Errorf("entry 0 = %+v", b.Findings[0])
+	}
+	if b.Findings[1].Count != 2 {
+		t.Errorf("duplicate message count = %d, want 2", b.Findings[1].Count)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Findings) != 2 || got.Findings[1] != b.Findings[1] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadBaselineRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version": 99, "findings": []}`,
+		"unknown field": `{"version": 1, "findings": [], "extra": true}`,
+		"empty entry":   `{"version": 1, "findings": [{"analyzer": "", "file": "f", "message": "m", "count": 1}]}`,
+		"zero count":    `{"version": 1, "findings": [{"analyzer": "a", "file": "f", "message": "m", "count": 0}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadBaseline(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: ReadBaseline accepted %s", name, src)
+		}
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	baseline := NewBaseline([]Finding{
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+		{Analyzer: "envelope", File: "wal.go", Message: "unmapped"},
+	})
+
+	// Identical findings (lines moved): clean in both directions.
+	fresh, stale := DiffBaseline([]Finding{
+		{Analyzer: "envelope", File: "wal.go", Line: 99, Message: "unmapped"},
+		{Analyzer: "leakcheck", File: "a_test.go", Line: 1, Message: "leaky"},
+		{Analyzer: "leakcheck", File: "a_test.go", Line: 2, Message: "leaky"},
+	}, baseline)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("unchanged findings: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A finding beyond the allowance is fresh; an extra occurrence of a
+	// baselined message counts too.
+	fresh, _ = DiffBaseline([]Finding{
+		{Analyzer: "envelope", File: "wal.go", Message: "unmapped"},
+		{Analyzer: "envelope", File: "wal.go", Message: "brand new"},
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+	}, baseline)
+	if len(fresh) != 2 {
+		t.Errorf("got %d fresh, want 2 (one new message, one over-count): %v", len(fresh), fresh)
+	}
+
+	// A fixed finding leaves a stale entry with the remaining allowance.
+	_, stale = DiffBaseline([]Finding{
+		{Analyzer: "leakcheck", File: "a_test.go", Message: "leaky"},
+	}, baseline)
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale entries, want 2: %v", len(stale), stale)
+	}
+	for _, e := range stale {
+		if e.Count != 1 {
+			t.Errorf("stale %s count = %d, want 1", e.Analyzer, e.Count)
+		}
+	}
+}

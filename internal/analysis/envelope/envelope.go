@@ -1,0 +1,261 @@
+// Package envelope enforces the error-envelope contract between the
+// core packages and the HTTP serving layer: every exported error
+// sentinel the index, WAL and storage layers can hand a caller must be
+// translated to a stable envelope code in internal/server/envelope.go,
+// and sentinel comparisons anywhere in the module must go through
+// errors.Is, never ==, because the durability paths wrap errors with
+// %w as they cross layers.
+//
+// The mapping check is a whole-program fact-passing problem: sentinels
+// are declared in one package, re-exported through alias vars in the
+// root package (var ErrWALCorrupt = wal.ErrWALCorrupt), and consumed by
+// the switch in envelope.go. The analyzer builds reference edges from
+// package-level initializers and type aliases and takes the closure of
+// what envelope.go mentions, so a sentinel mapped through its root
+// alias counts as mapped.
+package envelope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"mstsearch/internal/analysis"
+)
+
+// Analyzer is the error-envelope conformance check. Packages lists the
+// layers whose exported sentinels must be mapped; the == check applies
+// to the whole program.
+var Analyzer = &analysis.Analyzer{
+	Name: "envelope",
+	Doc: "every exported error sentinel in the core layers must be mapped " +
+		"to an envelope code in internal/server/envelope.go, and sentinel " +
+		"comparisons must use errors.Is, never == or !=",
+	Packages: []string{
+		"mstsearch",
+		"mstsearch/internal/index",
+		"mstsearch/internal/wal",
+		"mstsearch/internal/storage",
+	},
+	RunProgram: run,
+}
+
+// serverPath is the package holding the envelope mapping. Fixtures play
+// both roles themselves.
+const serverPath = "mstsearch/internal/server"
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Program
+	checkComparisons(pass)
+
+	envPkg := prog.Package(serverPath)
+	if fx := prog.Package("fixture"); fx != nil {
+		envPkg = fx
+	}
+	if envPkg == nil {
+		// Subset run without the serving layer: the mapping cannot be
+		// judged, so only the comparison check applies.
+		return nil
+	}
+
+	// Everything envelope.go itself references.
+	mapped := map[types.Object]bool{}
+	for _, f := range envPkg.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) != "envelope.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := envPkg.Info.Uses[id]; obj != nil {
+					mapped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Reference edges between package-level declarations: initializer
+	// expressions (var ErrWALCorrupt = wal.ErrWALCorrupt, fmt.Errorf
+	// wraps) and type aliases. Propagation is bidirectional — mentioning
+	// either end of an alias in envelope.go maps both.
+	edges := map[types.Object][]types.Object{}
+	addEdge := func(a, b types.Object) {
+		// Only module-declared package-level vars and type names may form
+		// edges: a shared constructor like errors.New would otherwise
+		// connect every sentinel to every other through the initializers.
+		if a == nil || b == nil || a == b || !linkable(prog, a) || !linkable(prog, b) {
+			return
+		}
+		edges[a] = append(edges[a], b)
+		edges[b] = append(edges[b], a)
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch sp := spec.(type) {
+					case *ast.ValueSpec:
+						var defs []types.Object
+						for _, name := range sp.Names {
+							defs = append(defs, pkg.Info.Defs[name])
+						}
+						for _, v := range sp.Values {
+							ast.Inspect(v, func(n ast.Node) bool {
+								if id, ok := n.(*ast.Ident); ok {
+									if used := pkg.Info.Uses[id]; used != nil {
+										for _, d := range defs {
+											addEdge(d, used)
+										}
+									}
+								}
+								return true
+							})
+						}
+					case *ast.TypeSpec:
+						if !sp.Assign.IsValid() {
+							continue
+						}
+						def := pkg.Info.Defs[sp.Name]
+						ast.Inspect(sp.Type, func(n ast.Node) bool {
+							if id, ok := n.(*ast.Ident); ok {
+								if used := pkg.Info.Uses[id]; used != nil {
+									addEdge(def, used)
+								}
+							}
+							return true
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Closure of the mapped set over the edges.
+	queue := make([]types.Object, 0, len(mapped))
+	for obj := range mapped {
+		queue = append(queue, obj)
+	}
+	for len(queue) > 0 {
+		obj := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, next := range edges[obj] {
+			if !mapped[next] {
+				mapped[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Every exported sentinel in the scoped layers must be in the closure.
+	for _, pkg := range prog.Packages {
+		if !pass.Analyzer.InspectPackage(pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() || !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			switch o := obj.(type) {
+			case *types.Var:
+				if !implementsError(o.Type()) {
+					continue
+				}
+			case *types.TypeName:
+				if o.IsAlias() {
+					continue // the aliased type is checked in its own package
+				}
+				if !implementsError(o.Type()) && !implementsError(types.NewPointer(o.Type())) {
+					continue
+				}
+			default:
+				continue
+			}
+			if !mapped[obj] {
+				pass.Reportf(obj.Pos(),
+					"exported error sentinel %s.%s is not mapped in envelope.go: every error the core layers export must translate to a stable envelope code",
+					pkg.Types.Name(), name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkComparisons flags == and != against module-declared sentinels
+// anywhere in the program.
+func checkComparisons(pass *analysis.ProgramPass) {
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				for _, operand := range [2]ast.Expr{be.X, be.Y} {
+					v := sentinelVar(pass.Program, pkg.Info, operand)
+					if v == nil {
+						continue
+					}
+					pass.Reportf(be.Pos(),
+						"comparison against sentinel %s with %s misses wrapped errors; use errors.Is",
+						v.Name(), be.Op)
+					break
+				}
+				return true
+			})
+		}
+	}
+}
+
+// sentinelVar resolves expr to a package-level Err* error variable
+// declared in one of the program's packages, or nil.
+func sentinelVar(prog *analysis.Program, info *types.Info, expr ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() || !implementsError(v.Type()) {
+		return nil
+	}
+	if prog.Package(v.Pkg().Path()) == nil {
+		return nil // stdlib sentinels like io.EOF follow their own conventions
+	}
+	return v
+}
+
+// linkable reports whether obj can be an endpoint of a reference edge:
+// a package-level var or a type name declared inside the program.
+func linkable(prog *analysis.Program, obj types.Object) bool {
+	if obj.Pkg() == nil || prog.Package(obj.Pkg().Path()) == nil {
+		return false
+	}
+	switch o := obj.(type) {
+	case *types.Var:
+		return o.Parent() == o.Pkg().Scope()
+	case *types.TypeName:
+		return true
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

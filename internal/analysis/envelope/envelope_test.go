@@ -1,0 +1,15 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/envelope"
+)
+
+func TestEnvelope(t *testing.T) {
+	diags := analysistest.Run(t, envelope.Analyzer, "testdata/envelope")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

@@ -1,0 +1,45 @@
+package fixture
+
+import "errors"
+
+// Sentinels in the style of the wal and storage layers.
+var (
+	ErrNotDurable = errors.New("not durable")
+	ErrWALCorrupt = errors.New("wal corrupt")
+	ErrLost       = errors.New("write lost") // want "exported error sentinel fixture.ErrLost is not mapped in envelope.go"
+)
+
+// ErrAlias mirrors the root package re-export pattern
+// (var ErrWALCorrupt = wal.ErrWALCorrupt): mapping the alias maps the
+// underlying sentinel through the reference edge.
+var ErrAlias = ErrWALCorrupt
+
+// ErrPageCorrupt mirrors the storage layer's typed sentinel.
+type ErrPageCorrupt struct{ Page uint32 }
+
+func (e ErrPageCorrupt) Error() string { return "page corrupt" }
+
+// ErrBadFrame is exported but never translated by the envelope.
+type ErrBadFrame struct{} // want "exported error sentinel fixture.ErrBadFrame is not mapped in envelope.go"
+
+func (ErrBadFrame) Error() string { return "bad frame" }
+
+// errInternal is unexported: callers cannot see it, so the envelope
+// need not name it.
+var errInternal = errors.New("internal")
+
+func classify(err error) string {
+	if err == ErrNotDurable { // want "comparison against sentinel ErrNotDurable with == misses wrapped errors"
+		return "not-durable"
+	}
+	if err != ErrWALCorrupt { // want "comparison against sentinel ErrWALCorrupt with != misses wrapped errors"
+		return "other"
+	}
+	if errors.Is(err, ErrLost) { // the right way — not flagged
+		return "lost"
+	}
+	if err == errInternal { // unexported, not a public sentinel
+		return "internal"
+	}
+	return "corrupt"
+}

@@ -1,0 +1,20 @@
+package fixture
+
+import "errors"
+
+// envelopeFor mirrors internal/server/envelope.go: the single switch
+// that translates core-layer errors to stable codes. Referencing a
+// sentinel here (or an alias of one) marks it mapped.
+func envelopeFor(err error) int {
+	var pc ErrPageCorrupt
+	switch {
+	case errors.Is(err, ErrNotDurable):
+		return 400
+	case errors.Is(err, ErrAlias): // maps ErrWALCorrupt through the alias edge
+		return 500
+	case errors.As(err, &pc):
+		return 500
+	default:
+		return 500
+	}
+}

@@ -1,0 +1,252 @@
+// Package fsyncorder checks the durability ordering invariants on the
+// snapshot and WAL write paths: a temp file must be fsynced before it
+// is renamed into place (or the rename can publish an empty file after
+// a crash), the parent directory must be synced after the rename (or
+// the rename itself is not durable), and every exported entry point
+// that writes through a syncable file must be able to reach a Sync —
+// an acked write with no fsync anywhere downstream is data loss waiting
+// for a power cut.
+//
+// The checks are whole-program because the orderings span helpers:
+// saveLocked syncs through *os.File directly but makes the rename
+// durable via wal.SyncDir, and the WAL's group-commit path reaches its
+// fsync two calls down. The analyzer builds per-function summaries
+// (writes / can reach Sync / can reach SyncDir) over the static call
+// graph — interface calls resolve only through their static method
+// sets, so a Write on a value whose type carries Sync counts as a
+// syncable write even when the concrete type is injected by tests.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mstsearch/internal/analysis"
+)
+
+// Analyzer is the fsync-ordering invariant check. Packages lists where
+// rename ordering and exported-entry findings are reported; summaries
+// are built over the whole program so orderings that span packages
+// resolve.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc: "temp files must be fsynced before rename, directories synced " +
+		"after, and exported writers must be able to reach a Sync",
+	Packages: []string{
+		"mstsearch",
+		"mstsearch/internal/wal",
+	},
+	RunProgram: run,
+}
+
+// event kinds, position-ordered within one function body.
+const (
+	evRename = iota // os.Rename
+	evSync          // a Sync method call, or a call reaching one
+	evDirSync       // a SyncDir call, or a call reaching one
+	evCall          // a static call into the module (resolved later)
+)
+
+type event struct {
+	kind   int
+	pos    token.Pos
+	callee *types.Func // for evCall
+}
+
+type summary struct {
+	decl   *ast.FuncDecl
+	pkg    *analysis.Package
+	events []event
+	writes bool // touches Write on a value whose method set has Sync
+
+	canSync    bool
+	canDirSync bool
+	doesWrite  bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	sums := map[*types.Func]*summary{}
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				sums[fn] = collect(pkg, fd)
+			}
+		}
+	}
+
+	// Fixpoint the reachability facts over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			sync, dir, write := s.canSync, s.canDirSync, s.doesWrite
+			for _, e := range s.events {
+				if e.kind != evCall {
+					continue
+				}
+				if c := sums[e.callee]; c != nil {
+					sync = sync || c.canSync
+					dir = dir || c.canDirSync
+					write = write || c.doesWrite
+				}
+			}
+			if sync != s.canSync || dir != s.canDirSync || write != s.doesWrite {
+				s.canSync, s.canDirSync, s.doesWrite = sync, dir, write
+				changed = true
+			}
+		}
+	}
+
+	for fn, s := range sums {
+		if !pass.Analyzer.InspectPackage(s.pkg.Path) {
+			continue
+		}
+		checkRenames(pass, s, sums)
+		if fn.Exported() && s.doesWrite && !s.canSync && !s.canDirSync {
+			pass.Reportf(s.decl.Name.Pos(),
+				"exported %s writes to a syncable file but no Sync or SyncDir is reachable from it; an acknowledged write that cannot reach stable storage is silent data loss on power failure",
+				fn.Name())
+		}
+	}
+	return nil
+}
+
+// checkRenames enforces sync-before-rename and dir-sync-after-rename
+// over the function's position-ordered events.
+func checkRenames(pass *analysis.ProgramPass, s *summary, sums map[*types.Func]*summary) {
+	syncAt := func(e event) bool {
+		if e.kind == evSync {
+			return true
+		}
+		if e.kind == evCall {
+			if c := sums[e.callee]; c != nil {
+				return c.canSync
+			}
+		}
+		return false
+	}
+	dirSyncAt := func(e event) bool {
+		if e.kind == evDirSync {
+			return true
+		}
+		if e.kind == evCall {
+			if c := sums[e.callee]; c != nil {
+				return c.canDirSync
+			}
+		}
+		return false
+	}
+	for _, e := range s.events {
+		if e.kind != evRename {
+			continue
+		}
+		synced, dirSynced := false, false
+		for _, o := range s.events {
+			if o.pos < e.pos && syncAt(o) {
+				synced = true
+			}
+			if o.pos > e.pos && dirSyncAt(o) {
+				dirSynced = true
+			}
+		}
+		if !synced {
+			pass.Reportf(e.pos,
+				"os.Rename without a preceding Sync of the renamed file; after a crash the new name can hold an empty or torn file")
+		}
+		if !dirSynced {
+			pass.Reportf(e.pos,
+				"os.Rename without a following parent-directory sync (SyncDir); the rename itself is not durable until the directory entry reaches disk")
+		}
+	}
+}
+
+// collect builds a function's event list and direct facts. FuncLit
+// bodies are included at their source positions: the deferred-cleanup
+// closures on these paths close and remove, they do not sync.
+func collect(pkg *analysis.Package, fd *ast.FuncDecl) *summary {
+	s := &summary{decl: fd, pkg: pkg}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg.Info, call); fn != nil {
+			switch {
+			case fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename":
+				s.events = append(s.events, event{kind: evRename, pos: call.Pos()})
+				return true
+			case fn.Name() == "SyncDir":
+				s.events = append(s.events, event{kind: evDirSync, pos: call.Pos()})
+				s.canDirSync = true
+				return true
+			case fn.Name() == "Sync" && isMethodCall(pkg.Info, call):
+				s.events = append(s.events, event{kind: evSync, pos: call.Pos()})
+				s.canSync = true
+				return true
+			case fn.Name() == "Write" && isSyncableWrite(pkg.Info, call):
+				s.doesWrite = true
+				return true
+			}
+			s.events = append(s.events, event{kind: evCall, pos: call.Pos(), callee: fn})
+		}
+		return true
+	})
+	return s
+}
+
+// isMethodCall reports whether the call is a method call (x.Sync() on a
+// value, as opposed to a package-qualified function).
+func isMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+// isSyncableWrite reports whether the call is x.Write(...) where x's
+// method set also carries Sync — an *os.File, a wal.File, anything
+// whose writes are expected to reach an fsync eventually.
+func isSyncableWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	for _, t := range [2]types.Type{recv, types.NewPointer(recv)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Sync" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

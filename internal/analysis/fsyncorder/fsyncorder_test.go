@@ -1,0 +1,15 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	diags := analysistest.Run(t, fsyncorder.Analyzer, "testdata/fsyncorder")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

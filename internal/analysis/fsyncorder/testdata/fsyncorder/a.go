@@ -1,0 +1,93 @@
+package fixture
+
+import "os"
+
+// SyncDir mirrors wal.SyncDir: fsync a directory so a rename inside it
+// becomes durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// saveGood mirrors persist.go saveLocked: temp file, sync, rename,
+// directory sync. Clean.
+func saveGood(dir, path string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// saveUnsynced renames a file nobody fsynced (the dir sync is there, so
+// only the missing file sync fires).
+func saveUnsynced(dir, path string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil { // want "os.Rename without a preceding Sync of the renamed file"
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// saveNoDirSync fsyncs the file but forgets the directory entry.
+func saveNoDirSync(dir, path string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // want "os.Rename without a following parent-directory sync"
+}
+
+// syncViaHelper reaches its file sync through a helper call before the
+// rename — the summary fixpoint must see through it. Clean.
+func syncViaHelper(dir, path string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if err := flush(f); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+func flush(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

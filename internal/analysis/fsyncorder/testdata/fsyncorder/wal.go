@@ -1,0 +1,42 @@
+package fixture
+
+// file mirrors wal.File: the narrowed *os.File slice the log writes
+// through, syncable by contract.
+type file interface {
+	Write(p []byte) (int, error)
+	Sync() error
+}
+
+type log struct {
+	f file
+}
+
+// Append mirrors wal.Log.Append: write then reachable fsync. Clean.
+func (l *log) Append(p []byte) error {
+	if _, err := l.f.Write(p); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Stage buffers a write with no fsync anywhere downstream of an
+// exported entry point — the acked-write-without-fsync case.
+func (l *log) Stage(p []byte) error { // want "exported Stage writes to a syncable file but no Sync or SyncDir is reachable"
+	_, err := l.f.Write(p)
+	return err
+}
+
+// stage is the same shape unexported: internal helpers may defer the
+// sync to their callers, so it is not flagged.
+func (l *log) stage(p []byte) error {
+	_, err := l.f.Write(p)
+	return err
+}
+
+// Flush reaches the fsync through the unexported helper. Clean.
+func (l *log) Flush(p []byte) error {
+	if err := l.stage(p); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}

@@ -1,0 +1,166 @@
+// Package leakcheck enforces test goroutine hygiene: a test function
+// that spawns goroutines — directly, or through a helper defined in a
+// _test.go file — must arm testutil.CheckGoroutines, the repo's leak
+// checker. A goroutine leaked by one test poisons the goroutine
+// baseline of every later test in the package, which is exactly the
+// class of flake the server and batch soak tests exist to prevent.
+//
+// The analyzer needs the test-augmented package view (NeedTests): test
+// functions are invisible in the ordinary package load. Spawning is
+// propagated only through helpers defined in test files — library code
+// like KMostSimilarBatch spawns and joins its own workers internally,
+// and flagging every test that calls it would teach people to ignore
+// the check.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"mstsearch/internal/analysis"
+)
+
+// Analyzer is the test goroutine-hygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc: "tests that spawn goroutines (directly or via test-file helpers) " +
+		"must arm testutil.CheckGoroutines",
+	RunProgram: run,
+	NeedTests:  true,
+}
+
+type testFunc struct {
+	decl       *ast.FuncDecl
+	inTestFile bool
+	spawns     bool
+	arms       bool
+	calls      []*types.Func
+}
+
+func run(pass *analysis.ProgramPass) error {
+	for _, pkg := range pass.Program.Tests {
+		if !pass.Analyzer.InspectPackage(pkg.Path) {
+			continue
+		}
+		checkPackage(pass, pkg)
+	}
+	return nil
+}
+
+func checkPackage(pass *analysis.ProgramPass, pkg *analysis.Package) {
+	fns := map[*types.Func]*testFunc{}
+	for _, f := range pkg.Files {
+		inTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			tf := &testFunc{decl: fd, inTestFile: inTest}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					tf.spawns = true
+				case *ast.CallExpr:
+					callee := calleeFunc(pkg.Info, n)
+					if callee == nil {
+						break
+					}
+					if isLeakChecker(callee) {
+						tf.arms = true
+						break
+					}
+					tf.calls = append(tf.calls, callee)
+				}
+				return true
+			})
+			fns[fn] = tf
+		}
+	}
+
+	// Propagate spawning and arming through helpers defined in test files.
+	for changed := true; changed; {
+		changed = false
+		for _, tf := range fns {
+			spawns, arms := tf.spawns, tf.arms
+			for _, callee := range tf.calls {
+				c := fns[callee]
+				if c == nil || !c.inTestFile {
+					continue
+				}
+				spawns = spawns || c.spawns
+				arms = arms || c.arms
+			}
+			if spawns != tf.spawns || arms != tf.arms {
+				tf.spawns, tf.arms = spawns, arms
+				changed = true
+			}
+		}
+	}
+
+	for fn, tf := range fns {
+		if !tf.inTestFile || !isTestFunc(fn, tf.decl) {
+			continue
+		}
+		if tf.spawns && !tf.arms {
+			pass.Reportf(tf.decl.Name.Pos(),
+				"%s spawns goroutines but never arms testutil.CheckGoroutines; a leaked goroutine poisons the baseline of every later test — arm the checker at the top",
+				fn.Name())
+		}
+	}
+}
+
+// isTestFunc matches go test's notion of a test: TestXxx with a single
+// *testing.T parameter.
+func isTestFunc(fn *types.Func, decl *ast.FuncDecl) bool {
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Test") {
+		return false
+	}
+	if rest := name[len("Test"):]; rest != "" && unicode.IsLower(rune(rest[0])) {
+		return false
+	}
+	if decl.Recv != nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "T" && obj.Pkg() != nil && obj.Pkg().Path() == "testing"
+}
+
+// isLeakChecker matches testutil.CheckGoroutines.
+func isLeakChecker(fn *types.Func) bool {
+	return fn.Name() == "CheckGoroutines" &&
+		fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/testutil")
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	diags := analysistest.Run(t, leakcheck.Analyzer, "testdata/leakcheck")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

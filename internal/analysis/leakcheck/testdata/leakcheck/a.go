@@ -1,0 +1,11 @@
+package fixture
+
+// batchSearch mirrors DB.KMostSimilarBatch: library code that spawns
+// and joins its own workers. Tests calling it are not spawning
+// test-owned goroutines, so the analyzer must not propagate through
+// non-test files.
+func batchSearch() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

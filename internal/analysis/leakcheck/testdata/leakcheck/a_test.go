@@ -1,0 +1,56 @@
+package fixture
+
+import (
+	"sync"
+	"testing"
+
+	"mstsearch/internal/testutil"
+)
+
+// TestArmed mirrors the server tests: workers spawned, leak checker
+// armed first. Clean.
+func TestArmed(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// TestLeaky spawns with no leak check armed.
+func TestLeaky(t *testing.T) { // want "TestLeaky spawns goroutines but never arms testutil.CheckGoroutines"
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestViaHelper spawns through a test-file helper; propagation must see
+// through it.
+func TestViaHelper(t *testing.T) { // want "TestViaHelper spawns goroutines but never arms testutil.CheckGoroutines"
+	startWorker()
+}
+
+func startWorker() {
+	go func() {}()
+}
+
+// TestArmedViaHelper arms the checker through a helper. Clean.
+func TestArmedViaHelper(t *testing.T) {
+	arm(t)
+	go func() {}()
+}
+
+func arm(t *testing.T) { testutil.CheckGoroutines(t) }
+
+// TestLibraryCall only calls library code that manages its own workers;
+// the spawn inside batchSearch is not the test's. Clean.
+func TestLibraryCall(t *testing.T) {
+	batchSearch()
+}
+
+// TestQuiet spawns nothing. Clean.
+func TestQuiet(t *testing.T) {
+	if 1+1 != 2 {
+		t.Fatal("arithmetic broke")
+	}
+}

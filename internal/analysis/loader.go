@@ -34,9 +34,10 @@ type Loader struct {
 	ModulePath string
 	ModuleDir  string
 
-	std     types.Importer
-	pkgs    map[string]*Package
-	loading map[string]bool
+	std      types.Importer
+	pkgs     map[string]*Package
+	testPkgs map[string]*Package // test-augmented variants, keyed by import path
+	loading  map[string]bool
 }
 
 // NewLoader creates a loader rooted at the module containing dir (the
@@ -128,16 +129,61 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	return p, nil
 }
 
+// LoadTests parses and type-checks the test-augmented variant of a
+// module package: its non-test files plus the in-package _test.go files,
+// checked together as one package (the go tool's internal-test view).
+// External _test packages are not loaded. Returns nil with no error when
+// the package has no in-package test files. Results are cached separately
+// from the non-test variant, so the two views never alias.
+func (l *Loader) LoadTests(importPath string) (*Package, error) {
+	if l.testPkgs == nil {
+		l.testPkgs = map[string]*Package{}
+	}
+	if p, ok := l.testPkgs[importPath]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	if len(bp.TestGoFiles) == 0 {
+		l.testPkgs[importPath] = nil
+		return nil, nil
+	}
+	p, err := l.loadDir(dir, importPath, true)
+	if err != nil {
+		return nil, err
+	}
+	l.testPkgs[importPath] = p
+	return p, nil
+}
+
 // LoadDir parses and type-checks the single package in dir under the
 // given import path. Test files are excluded; build constraints are
 // evaluated under the default build context (so files behind optional
 // tags like debugassert are analyzed only when the tag is active).
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	return l.loadDir(dir, importPath, false)
+}
+
+// LoadDirTests is LoadDir including the directory's in-package _test.go
+// files — the fixture-loading path for analyzers that inspect tests.
+func (l *Loader) LoadDirTests(dir, importPath string) (*Package, error) {
+	return l.loadDir(dir, importPath, true)
+}
+
+func (l *Loader) loadDir(dir, importPath string, includeTests bool) (*Package, error) {
 	bp, err := build.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
 	}
 	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
 	sort.Strings(names)
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
@@ -188,7 +234,16 @@ func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
 	for _, pat := range patterns {
 		switch {
 		case pat == "./..." || pat == "...":
-			paths, err := l.walkModule()
+			paths, err := l.walkTree(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./") && strings.HasSuffix(pat, "/..."):
+			rel := strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")
+			paths, err := l.walkTree(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
 			if err != nil {
 				return nil, err
 			}
@@ -209,11 +264,11 @@ func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
 	return out, nil
 }
 
-// walkModule lists every buildable package directory under the module
-// root as an import path.
-func (l *Loader) walkModule() ([]string, error) {
+// walkTree lists every buildable package directory under root (a
+// directory inside the module) as an import path.
+func (l *Loader) walkTree(root string) ([]string, error) {
 	var out []string
-	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -221,7 +276,7 @@ func (l *Loader) walkModule() ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != l.ModuleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
 		if _, err := build.ImportDir(path, 0); err != nil {

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mstsearch/internal/analysis/analysistest"
+	"mstsearch/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	diags := analysistest.Run(t, lockorder.Analyzer, "testdata/lockorder")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

@@ -1,0 +1,80 @@
+package fixture
+
+import "sync"
+
+// db mirrors the DB facade sitting above the striped pool: the facade
+// lock ranks below the pool's structure lock, which ranks below the
+// per-shard locks.
+type db struct {
+	mu   sync.RWMutex // lockrank: 10
+	pool *pool
+}
+
+type pool struct {
+	structMu sync.RWMutex // lockrank: 20
+	shards   []shard
+}
+
+type shard struct {
+	mu sync.Mutex // lockrank: 30
+	n  int
+}
+
+type slog struct {
+	mu sync.Mutex // lockrank: 5
+}
+
+// Query follows the documented order db.mu → structMu → shard.mu, the
+// pool acquisitions reached through a call. Clean.
+func (d *db) Query() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pool.read(0)
+}
+
+func (p *pool) read(i int) int {
+	p.structMu.RLock()
+	defer p.structMu.RUnlock()
+	sh := &p.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n
+}
+
+// rebalance relies on its contract instead of acquiring the facade
+// lock itself. Callers must hold d.mu (write side). Clean: the edge
+// db.mu → structMu respects the ranks.
+func (d *db) rebalance() {
+	d.pool.structMu.Lock()
+	defer d.pool.structMu.Unlock()
+}
+
+// record writes a slow-log entry from under a shard lock. Callers must
+// hold sh.mu.
+func (sh *shard) record(s *slog) {
+	s.mu.Lock() // want "acquires fixture.slog.mu .lockrank 5. while holding fixture.shard.mu .lockrank 30."
+	s.mu.Unlock()
+}
+
+// reload re-locks the facade through a helper that acquires it again.
+func (d *db) reload() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flush() // want "calls flush, which acquires fixture.db.mu while it is already held"
+}
+
+func (d *db) flush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// spawn starts a background reader while holding the facade lock. The
+// goroutine body is its own root with an empty held-set, so no edge
+// db.mu → structMu/shard.mu is inferred from it. Clean.
+func (d *db) spawn(p *pool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		p.read(0)
+	}()
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import "sync"
+
+// ab carries two unranked locks acquired in opposite orders by two
+// paths — the classic ABBA deadlock. The cycle is reported once, at the
+// earliest edge.
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (x *ab) first() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock() // want "lock-order cycle between fixture.ab.a, fixture.ab.b"
+	defer x.b.Unlock()
+}
+
+func (x *ab) second() {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.a.Lock()
+	defer x.a.Unlock()
+}
+
+// double re-locks a mutex it already holds.
+func (x *ab) double() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.a.Lock() // want "recursive acquisition of fixture.ab.a"
+	x.a.Unlock()
+}
+
+// handoff releases before re-acquiring; not recursive. Clean.
+func (x *ab) handoff() {
+	x.a.Lock()
+	x.a.Unlock()
+	x.a.Lock()
+	x.a.Unlock()
+}

@@ -169,7 +169,7 @@ var IOBounds = []float64{
 // use New. Handle resolution (Counter, Histogram) is mutex-guarded and
 // intended for init time; the handles themselves are lock-free.
 type Registry struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // lockrank: 70 — registration only; handles are lock-free
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 func TestCounter(t *testing.T) {
@@ -69,6 +71,7 @@ func TestHistogramQuantile(t *testing.T) {
 }
 
 func TestConcurrentObserve(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := New()
 	c := r.Counter("n")
 	h := r.Histogram("v", []float64{10})

@@ -24,7 +24,7 @@ type admission struct {
 	// plus a bounded count of waiters.
 	sem chan struct{}
 
-	mu      sync.Mutex
+	mu      sync.Mutex // lockrank: 50 — leaf of the serving layer
 	waiters int              // requests queued for a slot (≤ queueDepth)
 	buckets map[string]*bucket
 

@@ -35,7 +35,7 @@ type Client struct {
 	// retry waits base·2^attempt, half-jittered, floored at Retry-After.
 	BaseBackoff time.Duration
 
-	mu  sync.Mutex
+	mu  sync.Mutex // lockrank: 52 — guards only the jitter source
 	rng *rand.Rand // jitter source; seeded lazily
 }
 

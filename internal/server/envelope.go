@@ -10,6 +10,8 @@ import (
 	"time"
 
 	mstsearch "mstsearch"
+	"mstsearch/internal/index"
+	"mstsearch/internal/storage"
 )
 
 // Every non-2xx response the server emits is an ErrorEnvelope — one
@@ -114,6 +116,22 @@ func envelopeFor(err error) (int, ErrorBody) {
 		return http.StatusServiceUnavailable, ErrorBody{
 			Code: CodeUnavailable, Message: err.Error(), Retryable: true,
 			RetryAfterMS: 50,
+		}
+	case errors.Is(err, mstsearch.ErrWALCorrupt) || errors.Is(err, mstsearch.ErrBadSnapshot) ||
+		errors.Is(err, mstsearch.ErrSnapshotCRC) || errors.Is(err, mstsearch.ErrSnapshotVersion) ||
+		errors.Is(err, mstsearch.ErrSnapshotKind) || errors.Is(err, index.ErrCorruptNode) ||
+		errors.Is(err, storage.ErrBadDiskFile):
+		// Durable-state damage discovered on open, replay or traversal:
+		// like a checksum failure, nothing a client retry can fix.
+		return http.StatusInternalServerError, ErrorBody{
+			Code: CodeCorrupt, Message: err.Error(), Retryable: false,
+		}
+	case errors.Is(err, storage.ErrPageOutOfRange) || errors.Is(err, storage.ErrBadPageSize) ||
+		errors.Is(err, storage.ErrPageTooSmall) || errors.Is(err, storage.ErrFileFull):
+		// Pager misuse or exhaustion escaping the library is a bug in the
+		// serving path, not a client problem.
+		return http.StatusInternalServerError, ErrorBody{
+			Code: CodeInternal, Message: err.Error(), Retryable: false,
 		}
 	case errors.As(err, new(*notFoundError)):
 		return http.StatusNotFound, ErrorBody{

@@ -653,7 +653,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // idem is the bounded idempotency cache (ingest replays).
 type idemCache struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // lockrank: 51 — leaf: held only for map bookkeeping
 	seen  map[string]*IngestResponse
 	order []string
 	cap   int

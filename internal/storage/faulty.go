@@ -67,7 +67,7 @@ type FaultyPager struct {
 	BitFlipRate float64
 
 	// mu serializes the fault stream state below.
-	mu     sync.Mutex
+	mu     sync.Mutex // lockrank: 45 — held across inner pager calls by design
 	rng    *rand.Rand
 	dead   map[PageID]bool
 	reads  uint64

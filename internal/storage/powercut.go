@@ -30,7 +30,7 @@ var ErrPowercut = fmt.Errorf("%w: power cut", ErrInjected)
 //
 // A PowercutBudget is safe for concurrent use.
 type PowercutBudget struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // lockrank: 47 — taken under PowercutFile.mu on the write path
 	remaining int64
 	unlimited bool
 	tripped   bool
@@ -135,7 +135,7 @@ func (b *PowercutBudget) Crash(dropUnsynced bool) error {
 // PowercutBudget. It implements the wal package's File seam (io.Writer,
 // Sync, Close).
 type PowercutFile struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // lockrank: 46 — above the shared budget lock
 	f       *os.File
 	path    string
 	b       *PowercutBudget

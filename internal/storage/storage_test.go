@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 func fill(size int, b byte) []byte {
@@ -323,6 +325,7 @@ func TestSharedPoolBasics(t *testing.T) {
 }
 
 func TestSharedPoolConcurrentReaders(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	f := NewFile(64)
 	var ids []PageID
 	for i := 0; i < 40; i++ {

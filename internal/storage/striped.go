@@ -49,13 +49,13 @@ type StripedPool struct {
 	// Declared last: it guards the *inner pager's* structure, not the
 	// fields above (which are either immutable after construction, atomic,
 	// or latched per shard).
-	structMu sync.RWMutex
+	structMu sync.RWMutex // lockrank: 30 — above every shard lock
 }
 
 // poolShard is one lock stripe: a mutex plus the LRU segment of the pages
 // whose ids hash to it.
 type poolShard struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // lockrank: 40 — taken under structMu, one shard at a time
 	lru      *list.List // front = most recently used; values are *frame
 	frames   map[PageID]*list.Element
 	capacity int

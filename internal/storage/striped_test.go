@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 func TestStripedPoolShape(t *testing.T) {
@@ -67,6 +69,7 @@ func TestSharedPaperPoolIsStriped(t *testing.T) {
 // invariant — page p always holds fill(byte(p)) or, transiently for fresh
 // allocations, zeros — makes every interleaving's reads checkable.
 func TestStripedPoolConcurrentMixed(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const initial = 96
 	f := NewFile(48)
 	for i := 0; i < initial; i++ {
@@ -217,6 +220,7 @@ func TestStripedPoolConcurrentMixed(t *testing.T) {
 // ResetStats run concurrently with readers under -race, and with no reset
 // in flight the final counters account for every operation exactly.
 func TestStripedPoolStatsAtomic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const pages = 64
 	f := NewFile(32)
 	for i := 0; i < pages; i++ {
@@ -303,6 +307,7 @@ func TestStripedPoolStatsAtomic(t *testing.T) {
 // be retried away or surface as typed errors — never as wrong bytes —
 // while many goroutines share the pool.
 func TestStripedPoolFaultInjection(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const pages = 48
 	f := NewFile(64)
 	for i := 0; i < pages; i++ {

@@ -198,7 +198,7 @@ type DB struct {
 	// DB's locks rather than under either of them.
 	slow slowLog
 
-	mu    sync.RWMutex // queries take read side; mutations take write side
+	mu    sync.RWMutex // lockrank: 10 — queries take read side; mutations take write side
 	kind  IndexKind
 	file  *storage.File
 	rt    *rtree.Tree
@@ -223,7 +223,7 @@ type DB struct {
 	// buffer pool — the fault-injection / instrumentation seam.
 	pagerWrap func(Pager) Pager
 
-	dsMu sync.Mutex
+	dsMu sync.Mutex // lockrank: 20 — taken under db.mu, never the reverse
 	ds   *trajectory.Dataset    // cached view over trajs; nil after Add
 	hist *selectivity.Histogram // cached selectivity histogram; nil after Add
 }

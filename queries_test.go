@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"mstsearch/internal/testutil"
 )
 
 func TestRangeQueryMatchesBruteForce(t *testing.T) {
@@ -124,6 +126,7 @@ func TestKMostSimilarRelaxedFacade(t *testing.T) {
 }
 
 func TestConcurrentQueries(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(9))
 	trajs := fleet(rng, 30, 40)
 	db, err := NewDB(RTree3D, trajs)
@@ -260,6 +263,7 @@ func TestTopologyQuery(t *testing.T) {
 }
 
 func TestWarmBufferCachesAcrossQueries(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(55))
 	// Large enough that the paper's 10 % buffer policy yields a pool that
 	// can actually hold a root-to-leaf path.
