@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mstbench -exp table2|fig8|fig9|q1|q2|q3|ablation|batch|all [flags]
+//	mstbench -exp table2|fig8|fig9|q1|q2|q3|ablation|batch|shard|all [flags]
 //
 // The default flags run a scaled-down study that finishes in minutes;
 // -paper switches to the published scale (273 trucks / 112K segments for
@@ -24,11 +24,12 @@ import (
 
 	"mstsearch"
 	"mstsearch/internal/experiments"
+	"mstsearch/internal/shard"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation, batch, explain or all")
+		exp     = flag.String("exp", "all", "experiment: table2, fig8, fig9, q1, q2, q3, ablation, batch, shard, explain or all")
 		paper   = flag.Bool("paper", false, "run at the paper's full scale (slow)")
 		scale   = flag.Float64("scale", 0.25, "Trucks dataset scale in (0,1] for fig8/fig9/table2")
 		samples = flag.Int("samples", 501, "samples per synthetic object (paper: 2001)")
@@ -89,6 +90,15 @@ func main() {
 			card = 500
 		}
 		runBatchExperiment(card, *samples, nq, *seed)
+		fmt.Println()
+	}
+	if run("shard") {
+		any = true
+		card, nq := 50, *queries
+		if *paper {
+			card = 500
+		}
+		runShardExperiment(card, *samples, nq, *seed)
 		fmt.Println()
 	}
 	if run("explain") {
@@ -196,6 +206,77 @@ func runBatchExperiment(card, samples, nq int, seed int64) {
 			base = qps
 		}
 		fmt.Printf("%7d %11.2f %11.0f %8.2fx\n", par, float64(elapsed.Microseconds())/1000, qps, qps/base)
+	}
+}
+
+// runShardExperiment measures scatter-gather k-MST across shard counts
+// and placement policies on the Fig. 10 Q1-shaped workload (5% windows,
+// k = 1): per-setting throughput plus the coordinator's gather profile —
+// how many shards each query actually searched and how many were pruned
+// on their root lower bound without being touched. Spatial placement
+// co-locates nearby trajectories, so localized queries prune most of the
+// cluster; hash placement spreads them, so the fanout stays wide. Like
+// the batch experiment it drives the public facade and lives here rather
+// than in internal/experiments.
+func runShardExperiment(card, samples, nq int, seed int64) {
+	data := experiments.SyntheticDataset(card, samples, seed)
+	rng := rand.New(rand.NewSource(seed))
+	type workItem struct {
+		q      mstsearch.Trajectory
+		t1, t2 float64
+	}
+	work := make([]workItem, nq)
+	for i := range work {
+		src := &data.Trajs[rng.Intn(len(data.Trajs))]
+		t1 := rng.Float64() * 0.9
+		t2 := t1 + 0.05
+		sl, ok := src.Slice(t1, t2)
+		if !ok {
+			fail(fmt.Errorf("shard: query window [%g, %g] outside dataset span", t1, t2))
+		}
+		work[i].q = sl.Clone()
+		work[i].q.ID = 0
+		work[i].t1, work[i].t2 = t1, t2
+	}
+
+	fmt.Printf("Sharded k-MST scatter-gather: S%04d, %d samples/object, %d queries (5%% windows, k=1), GOMAXPROCS=%d\n",
+		card, samples, nq, runtime.GOMAXPROCS(0))
+	fmt.Println("shards   placement   total(ms)   queries/s   avg fanout   avg pruned")
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, placeName := range []string{"hash", "spatial"} {
+			place, err := shard.PlacementByName(placeName)
+			fail(err)
+			c, err := shard.New(mstsearch.RTree3D, n, place, shard.Options{})
+			fail(err)
+			for i := range data.Trajs {
+				fail(c.Add(data.Trajs[i]))
+			}
+			c.EnableWarmBuffer()
+			opts := mstsearch.Options{ExactRefine: true, Refine: 1}
+			// Untimed warmup so every leg measures the same buffer state.
+			for _, w := range work {
+				if _, err := c.Query(context.Background(), mstsearch.Request{
+					Q: &w.q, Interval: mstsearch.Interval{T1: w.t1, T2: w.t2}, K: 1, Options: opts,
+				}); err != nil {
+					fail(err)
+				}
+			}
+			var fanout, pruned int
+			start := time.Now()
+			for _, w := range work {
+				_, qs, err := c.QueryShards(context.Background(), mstsearch.Request{
+					Q: &w.q, Interval: mstsearch.Interval{T1: w.t1, T2: w.t2}, K: 1, Options: opts,
+				})
+				fail(err)
+				fanout += qs.Fanout
+				pruned += qs.Pruned
+			}
+			elapsed := time.Since(start)
+			fmt.Printf("%6d %11s %11.2f %11.0f %12.2f %12.2f\n",
+				n, placeName, float64(elapsed.Microseconds())/1000,
+				float64(nq)/elapsed.Seconds(),
+				float64(fanout)/float64(nq), float64(pruned)/float64(nq))
+		}
 	}
 }
 

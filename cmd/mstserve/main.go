@@ -8,6 +8,12 @@
 //
 //	mstserve -dir store/ -addr :8080
 //	mstserve -synthetic 200 -addr :8080          # in-memory demo fleet
+//	mstserve -dir cluster/ -shards 4 -addr :8080 # sharded store (mststore cluster-init)
+//
+// With -shards > 0 the directory (or synthetic fleet) is served as a
+// horizontally sharded cluster: queries scatter-gather across the shards
+// behind the same admission ladder, and /v1/query answers are identical
+// to a single-node store holding the same data.
 //
 // Flags tune the overload posture:
 //
@@ -35,7 +41,17 @@ import (
 	"mstsearch"
 	"mstsearch/internal/gstd"
 	"mstsearch/internal/server"
+	"mstsearch/internal/shard"
 )
+
+// store is what mstserve serves: the server's Engine plus the lifecycle
+// methods main drives directly. Satisfied by *mstsearch.DB and
+// *shard.Cluster.
+type store interface {
+	server.Engine
+	EnableWarmBuffer()
+	Close() error
+}
 
 func main() {
 	var (
@@ -53,10 +69,12 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "per-query node-access budget (0 = unlimited)")
 		maxIOReads = flag.Uint64("max-ioreads", 0, "per-query physical-read budget (0 = unlimited)")
 		coalesce   = flag.Duration("coalesce", time.Millisecond, "query coalescing window (0 = off)")
+		shards     = flag.Int("shards", 0, "serve as a cluster of N shards (0 = single store)")
+		placement  = flag.String("placement", "hash", "cluster placement policy: hash or spatial")
 	)
 	flag.Parse()
 
-	db, err := openDB(*dir, *tree, *synthetic, *seed)
+	db, err := openStore(*dir, *tree, *synthetic, *seed, *shards, *placement)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mstserve:", err)
 		os.Exit(1)
@@ -79,7 +97,7 @@ func main() {
 		cfg.QueueDepth = cfg.MaxConcurrent
 	}
 
-	srv := server.New(db, cfg)
+	srv := server.NewEngine(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	// Drain on SIGINT/SIGTERM: stop accepting, cancel in-flight work
@@ -105,6 +123,53 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// openStore opens the durable store (or builds an in-memory synthetic
+// fleet when -synthetic is set), as a single DB or — with -shards > 0 —
+// as a sharded cluster.
+func openStore(dir, tree string, synthetic int, seed int64, shards int, placement string) (store, error) {
+	if shards > 0 {
+		return openCluster(dir, tree, synthetic, seed, shards, placement)
+	}
+	return openDB(dir, tree, synthetic, seed)
+}
+
+// openCluster opens (or synthesizes) a sharded store. An existing cluster
+// directory's manifest wins over the flags, so reopening never needs the
+// init-time parameters repeated exactly.
+func openCluster(dir, tree string, synthetic int, seed int64, shards int, placement string) (*shard.Cluster, error) {
+	place, err := shard.PlacementByName(placement)
+	if err != nil {
+		return nil, err
+	}
+	if synthetic > 0 {
+		c, err := shard.New(parseKind(tree), shards, place, shard.Options{})
+		if err != nil {
+			return nil, err
+		}
+		data := gstd.Generate(gstd.Config{
+			NumObjects: synthetic, SamplesPerObject: 64, Seed: seed,
+		})
+		for i := range data.Trajs {
+			if err := c.Add(data.Trajs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("need -dir or -synthetic")
+	}
+	if kind, n, placeName, err := shard.ReadManifest(dir); err == nil {
+		// Serve what the directory holds rather than demanding the
+		// operator remember cluster-init's flags.
+		if place, err = shard.PlacementByName(placeName); err != nil {
+			return nil, err
+		}
+		return shard.Open(dir, kind, n, place, shard.Options{})
+	}
+	return shard.Open(dir, parseKind(tree), shards, place, shard.Options{})
 }
 
 // openDB opens the durable store, or builds an in-memory synthetic fleet

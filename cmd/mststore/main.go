@@ -12,6 +12,15 @@
 //	mststore info       -dir store/
 //	mststore query      -dir store/ -queryid 7 -k 5
 //
+// Sharded (cluster) stores partition trajectories across N independent
+// shard directories under one root, each with its own WAL and
+// checkpoints, pinned by a cluster manifest:
+//
+//	mststore cluster-init   -dir cluster/ -shards 4 [-placement hash] [-tree rtree]
+//	mststore cluster-ingest -dir cluster/ -data trucks.csv
+//	mststore cluster-info   -dir cluster/
+//	mststore cluster-query  -dir cluster/ -queryid 7 -k 5 [-p 0.25]
+//
 // Example:
 //
 //	gendata -kind trucks -scale 0.2 -o trucks.csv
@@ -28,6 +37,7 @@ import (
 	"path/filepath"
 
 	"mstsearch"
+	"mstsearch/internal/shard"
 	"mstsearch/internal/wal"
 )
 
@@ -46,13 +56,21 @@ func main() {
 		runInfo(os.Args[2:])
 	case "query":
 		runQuery(os.Args[2:])
+	case "cluster-init":
+		runClusterInit(os.Args[2:])
+	case "cluster-ingest":
+		runClusterIngest(os.Args[2:])
+	case "cluster-info":
+		runClusterInfo(os.Args[2:])
+	case "cluster-query":
+		runClusterQuery(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mststore <ingest|append|checkpoint|info|query> -dir <store> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mststore <ingest|append|checkpoint|info|query|cluster-init|cluster-ingest|cluster-info|cluster-query> -dir <store> [flags]")
 	os.Exit(2)
 }
 
@@ -209,6 +227,128 @@ func runQuery(args []string) {
 	})
 	fail(err)
 	fmt.Printf("k=%d MST over [%g, %g]: %d results\n", *k, qc.StartTime(), qc.EndTime(), len(resp.Results))
+	for i, r := range resp.Results {
+		fmt.Printf("%2d. trajectory %-6d DISSIM = %.6f\n", i+1, r.TrajID, r.Dissim)
+	}
+}
+
+// openCluster opens an existing cluster, taking (kind, shards, placement)
+// from the manifest so the operator never has to repeat cluster-init's
+// flags on later subcommands.
+func openCluster(dir, sync string) *shard.Cluster {
+	kind, n, placeName, err := shard.ReadManifest(dir)
+	if err != nil {
+		fail(fmt.Errorf("not a cluster directory (run cluster-init first): %w", err))
+	}
+	place, err := shard.PlacementByName(placeName)
+	fail(err)
+	c, err := shard.Open(dir, kind, n, place, shard.Options{
+		Durable: mstsearch.DurableOptions{Sync: parseSync(sync)},
+	})
+	fail(err)
+	return c
+}
+
+// runClusterInit creates an empty durable cluster: N shard directories
+// plus the manifest pinning (kind, shards, placement).
+func runClusterInit(args []string) {
+	fs, dir, tree, sync := storeFlags("cluster-init")
+	shards := fs.Int("shards", 2, "number of shards")
+	placement := fs.String("placement", "hash", "placement policy: hash or spatial")
+	fs.Parse(args)
+	requireDir(*dir)
+	place, err := shard.PlacementByName(*placement)
+	fail(err)
+	c, err := shard.Open(*dir, parseKind(*tree), *shards, place, shard.Options{
+		Durable: mstsearch.DurableOptions{Sync: parseSync(*sync)},
+	})
+	fail(err)
+	fail(c.Close())
+	fmt.Printf("initialized cluster %s: %d shards, %s placement, %s index\n", *dir, *shards, *placement, parseKind(*tree))
+}
+
+// runClusterIngest scatters a CSV dataset across the cluster's shards
+// under its placement policy, journaling each trajectory on its shard.
+func runClusterIngest(args []string) {
+	fs, dir, _, sync := storeFlags("cluster-ingest")
+	data := fs.String("data", "", "dataset CSV to ingest (required)")
+	fs.Parse(args)
+	requireDir(*dir)
+	if *data == "" {
+		fail(fmt.Errorf("-data is required"))
+	}
+	c := openCluster(*dir, *sync)
+	trajs := readCSV(*data)
+	for i := range trajs {
+		if err := c.Add(trajs[i]); err != nil {
+			fail(fmt.Errorf("trajectory %d: %w", trajs[i].ID, err))
+		}
+	}
+	fail(c.Close())
+	fmt.Printf("ingested %d trajectories into %d shards\n", len(trajs), c.NumShards())
+}
+
+// runClusterInfo prints the manifest plus each shard's share of the data.
+func runClusterInfo(args []string) {
+	fs, dir, _, sync := storeFlags("cluster-info")
+	fs.Parse(args)
+	requireDir(*dir)
+	kind, n, placeName, err := shard.ReadManifest(*dir)
+	fail(err)
+	c := openCluster(*dir, *sync)
+	defer c.Close()
+	fmt.Printf("cluster:      %s\n", *dir)
+	fmt.Printf("index:        %s\n", kind)
+	fmt.Printf("placement:    %s\n", placeName)
+	fmt.Printf("shards:       %d\n", n)
+	fmt.Printf("trajectories: %d (%d segments)\n", c.Len(), c.NumSegments())
+	for i := 0; i < c.NumShards(); i++ {
+		db := c.Shard(i)
+		fmt.Printf("  shard %3d:  %d trajectories, %d segments\n", i, db.Len(), db.NumSegments())
+	}
+}
+
+// runClusterQuery answers a k-MST query by scatter-gather over the
+// cluster, reporting how many shards the coordinator pruned.
+func runClusterQuery(args []string) {
+	fs, dir, _, sync := storeFlags("cluster-query")
+	queryID := fs.Uint("queryid", 0, "stored trajectory to use as the query (required)")
+	k := fs.Int("k", 1, "number of results")
+	p := fs.Float64("p", 1, "fraction of the query's lifetime to search, from the start (0, 1]")
+	fs.Parse(args)
+	requireDir(*dir)
+	if *queryID == 0 {
+		fail(fmt.Errorf("-queryid is required"))
+	}
+	if *p <= 0 || *p > 1 {
+		fail(fmt.Errorf("-p must be in (0, 1], got %g", *p))
+	}
+	c := openCluster(*dir, *sync)
+	defer c.Close()
+	q := c.Get(mstsearch.ID(*queryID))
+	if q == nil {
+		fail(fmt.Errorf("trajectory %d not in cluster", *queryID))
+	}
+	qc := q.Clone()
+	if *p < 1 {
+		t1 := qc.StartTime()
+		t2 := t1 + (qc.EndTime()-t1)**p
+		sl, ok := qc.Slice(t1, t2)
+		if !ok {
+			fail(fmt.Errorf("trajectory %d has no samples in [%g, %g]", *queryID, t1, t2))
+		}
+		qc = sl.Clone()
+	}
+	qc.ID = 0
+	resp, qs, err := c.QueryShards(context.Background(), mstsearch.Request{
+		Q:        &qc,
+		Interval: mstsearch.Interval{T1: qc.StartTime(), T2: qc.EndTime()},
+		K:        *k,
+		Options:  mstsearch.DefaultOptions(),
+	})
+	fail(err)
+	fmt.Printf("k=%d MST over [%g, %g]: %d results (%d shards searched, %d pruned)\n",
+		*k, qc.StartTime(), qc.EndTime(), len(resp.Results), qs.Fanout, qs.Pruned)
 	for i, r := range resp.Results {
 		fmt.Printf("%2d. trajectory %-6d DISSIM = %.6f\n", i+1, r.TrajID, r.Dissim)
 	}

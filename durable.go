@@ -105,9 +105,11 @@ type DurableOptions struct {
 	// the log then grows until a manual Checkpoint).
 	CheckpointBytes int64
 
-	// openFile, when non-nil, replaces segment-file creation — the
-	// crash-injection seam the powercut tests use.
-	openFile func(path string) (wal.File, error)
+	// OpenFile, when non-nil, replaces WAL segment-file creation — the
+	// crash-injection seam the powercut tests use (storage.PowercutBudget
+	// satisfies it). Exported so the cluster layer (internal/shard) can
+	// aim faults at a single shard's log through Options.ShardDurable.
+	OpenFile func(path string) (wal.File, error)
 }
 
 const defaultCheckpointBytes = 4 << 20
@@ -118,7 +120,7 @@ func (o DurableOptions) walOptions() wal.Options {
 		Policy:       o.Sync.policy(),
 		GroupEvery:   o.GroupEvery,
 		SegmentBytes: o.SegmentBytes,
-		OpenFile:     o.openFile,
+		OpenFile:     o.OpenFile,
 	}
 }
 

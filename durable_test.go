@@ -122,7 +122,7 @@ func crashSweep(t *testing.T, kind IndexKind, mode SyncMode, dropUnsynced bool, 
 			Sync:            mode,
 			SegmentBytes:    512,
 			CheckpointBytes: ckptBytes,
-			openFile:        func(path string) (wal.File, error) { return b.Open(path) },
+			OpenFile:        func(path string) (wal.File, error) { return b.Open(path) },
 		}
 	}
 

@@ -42,10 +42,10 @@ var Analyzer = &analysis.Analyzer{
 
 // event kinds, position-ordered within one function body.
 const (
-	evRename = iota // os.Rename
-	evSync          // a Sync method call, or a call reaching one
-	evDirSync       // a SyncDir call, or a call reaching one
-	evCall          // a static call into the module (resolved later)
+	evRename  = iota // os.Rename
+	evSync           // a Sync method call, or a call reaching one
+	evDirSync        // a SyncDir call, or a call reaching one
+	evCall           // a static call into the module (resolved later)
 )
 
 type event struct {

@@ -1,0 +1,46 @@
+package mst
+
+import (
+	"fmt"
+	"math"
+
+	"mstsearch/internal/index"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+// LowerBound returns a certified lower bound on the DISSIM between q and
+// EVERY trajectory in the tree over [t1, t2], from one root-page read:
+// MINDIST(q, rootMBB) · (t2 − t1), the speed-independent OPTDISSIM bound
+// of §4.2 applied to the root. +Inf means the tree provably holds no
+// trajectory covering the period (empty tree, or the root MBB misses the
+// period entirely), so the tree cannot contribute to any top-k.
+//
+// A scatter-gather coordinator uses this to skip entire shards: a shard
+// whose LowerBound exceeds the global k-th pessimistic bound cannot place
+// a result, and pruning it cannot change the merged answer.
+func LowerBound(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64) (float64, error) {
+	if q == nil || !(t1 < t2) || !q.Covers(t1, t2) {
+		return 0, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
+	}
+	root := tree.Root()
+	if root == storage.NilPage {
+		return math.Inf(1), nil
+	}
+	// Same discipline as the search itself: a corrupt or faulted root page
+	// must surface as a typed error, never as a fake +Inf bound that would
+	// silently prune the shard.
+	rootNode, err := tree.ReadNode(root)
+	if err != nil {
+		return 0, err
+	}
+	rootMBB := rootNode.MBB()
+	if !rootMBB.OverlapsTime(t1, t2) {
+		return math.Inf(1), nil
+	}
+	d, ok := index.MinDistTrajMBB(q, rootMBB, t1, t2)
+	if !ok {
+		return math.Inf(1), nil
+	}
+	return d * (t2 - t1), nil
+}

@@ -132,6 +132,16 @@ type Stats struct {
 	// assembled so far, with per-result Certified flags separating proven
 	// answers from provisional ones.
 	Degraded bool
+	// CertFloor is a certified lower bound on the DISSIM of every
+	// trajectory covering the query period that is NOT among the returned
+	// results: unexplored subtrees are floored by the MINDIST of the next
+	// unprocessed node, partially assembled and rejected candidates by
+	// their certified lo. +Inf when the search can prove nothing was left
+	// behind (every covering trajectory was returned). A distributed
+	// coordinator merges per-shard answers soundly by comparing a result's
+	// pessimistic bound against the other shards' floors. Only meaningful
+	// on a nil-error search.
+	CertFloor float64
 }
 
 // ErrBadQuery reports an unusable query trajectory or period.
@@ -200,10 +210,13 @@ type searcher struct {
 	tau      float64 // cached k-th smallest hi over candidates
 	tauDirty bool
 
-	// degradeDist is the MINDIST of the next unprocessed node at the moment
-	// a budget ran out: no unexplored trajectory can have DISSIM below
-	// degradeDist · (t2 − t1), the certification floor of degraded results.
-	degradeDist float64
+	// unseenDist is the MINDIST of the next unprocessed node at the moment
+	// the search stopped visiting nodes — set when a budget runs out or
+	// Heuristic 2 terminates early, +Inf when the queue drained naturally.
+	// No trajectory confined to unexplored subtrees can have DISSIM below
+	// unseenDist · (t2 − t1): the speed-independent half of Stats.CertFloor
+	// and the certification floor of degraded results.
+	unseenDist float64
 
 	segTraj trajectory.Trajectory // reusable 2-sample wrapper
 
@@ -233,15 +246,16 @@ func SearchContext(ctx context.Context, tree index.Tree, q *trajectory.Trajector
 		return nil, Stats{}, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
 	}
 	s := &searcher{
-		ctx:      ctx,
-		tree:     tree,
-		q:        q,
-		t1:       t1,
-		t2:       t2,
-		opts:     opts,
-		cands:    make(map[trajectory.ID]*candidate),
-		tau:      math.Inf(1),
-		tauDirty: false,
+		ctx:        ctx,
+		tree:       tree,
+		q:          q,
+		t1:         t1,
+		t2:         t2,
+		opts:       opts,
+		cands:      make(map[trajectory.ID]*candidate),
+		tau:        math.Inf(1),
+		tauDirty:   false,
+		unseenDist: math.Inf(1),
 	}
 	s.stats.TotalNodes = tree.NumNodes()
 	s.segTraj.Samples = make([]trajectory.Sample, 2)
@@ -296,8 +310,8 @@ func (s *searcher) run() error {
 		}
 		if budget := s.budgetExhausted(); budget != "" {
 			s.stats.Degraded = true
-			s.degradeDist = s.queue[0].dist
-			s.emit(TraceEvent{Kind: EventBudgetExhausted, Budget: budget, MinDist: s.degradeDist})
+			s.unseenDist = s.queue[0].dist
+			s.emit(TraceEvent{Kind: EventBudgetExhausted, Budget: budget, MinDist: s.unseenDist})
 			return nil
 		}
 
@@ -316,6 +330,7 @@ func (s *searcher) run() error {
 		if !s.opts.DisableHeuristic2 && s.completedCount() >= s.opts.K {
 			if m := s.minDissimInc(it.dist); m > s.threshold() {
 				s.stats.TerminatedEarly = true
+				s.unseenDist = it.dist
 				s.emit(TraceEvent{
 					Kind: EventEarlyTerminate, Page: it.page, Level: it.level,
 					MinDist: it.dist, Lo: m, Heuristic: 2, Threshold: s.threshold(),
@@ -564,6 +579,7 @@ func (s *searcher) finalize() []Result {
 		return done[i].id < done[j].id
 	})
 	if len(done) == 0 {
+		s.stats.CertFloor = s.certificationFloor(nil)
 		return nil
 	}
 
@@ -607,8 +623,9 @@ func (s *searcher) finalize() []Result {
 	// A completed search proves every returned result (the algorithm's
 	// exactness guarantee). A budget-degraded search certifies only the
 	// results no unexplored or partially-explored trajectory can displace.
+	floor := s.certificationFloor(done)
+	s.stats.CertFloor = floor
 	if s.stats.Degraded {
-		floor := s.certificationFloor(done)
 		for i, c := range done {
 			out[i].Certified = c.hi <= floor
 		}
@@ -617,13 +634,15 @@ func (s *searcher) finalize() []Result {
 }
 
 // certificationFloor returns a lower bound on the DISSIM of every
-// trajectory NOT among the returned results of a degraded search: nodes
-// still queued pop in MINDIST order, so anything unexplored has DISSIM ≥
-// degradeDist · period (speed-independent bound); partially assembled and
-// rejected candidates are bounded by their certified lo. A returned result
-// whose upper bound lies below this floor is provably in the true top-k.
+// trajectory NOT among the returned results: nodes still queued pop in
+// MINDIST order, so anything unexplored has DISSIM ≥ unseenDist · period
+// (speed-independent bound; +Inf when the queue drained); partially
+// assembled, completed-but-dropped, and rejected candidates are bounded by
+// their certified lo. A returned result whose upper bound lies below this
+// floor is provably in the true top-k, and a distributed merge can use the
+// floor (Stats.CertFloor) to rule out contributions from this tree.
 func (s *searcher) certificationFloor(returned []*candidate) float64 {
-	floor := s.degradeDist * (s.t2 - s.t1)
+	floor := s.unseenDist * (s.t2 - s.t1)
 	ret := make(map[trajectory.ID]bool, len(returned))
 	for _, c := range returned {
 		ret[c.id] = true

@@ -46,6 +46,16 @@ const (
 	EventRefined
 	// EventRefineDone: the refinement step finished (Count refined).
 	EventRefineDone
+	// EventShardScatter: a scatter-gather coordinator (internal/shard)
+	// dispatched the query to one shard (Shard, MinDist = the shard's
+	// certified lower bound). Emitted by the cluster layer, never by a
+	// single-tree search.
+	EventShardScatter
+	// EventShardPrune: the coordinator skipped a shard whose certified
+	// lower bound (MinDist) cannot beat the global k-th pessimistic bound
+	// (Threshold), or which provably holds no covering trajectory
+	// (MinDist = +Inf). Emitted by the cluster layer.
+	EventShardPrune
 )
 
 // String names the event kind.
@@ -71,6 +81,10 @@ func (k EventKind) String() string {
 		return "refined"
 	case EventRefineDone:
 		return "refine-done"
+	case EventShardScatter:
+		return "shard-scatter"
+	case EventShardPrune:
+		return "shard-prune"
 	default:
 		return "unknown"
 	}
@@ -115,6 +129,12 @@ type TraceEvent struct {
 	// EventRefineDone).
 	Count   int
 	Workers int
+
+	// Shard is the shard index on cluster-level events (EventShardScatter,
+	// EventShardPrune); MinDist then carries the shard's certified lower
+	// bound and Threshold the global k-th pessimistic bound at the
+	// decision.
+	Shard int
 }
 
 // emit delivers one event to the trace hook when tracing is on. The hook

@@ -165,6 +165,12 @@ var IOBounds = []float64{
 	1024, 2048, 4096, 8192, 16384, 32768, 65536,
 }
 
+// FanoutBounds are the default boundaries for small per-query counts —
+// shards queried, shards pruned, results merged per scatter-gather query.
+var FanoutBounds = []float64{
+	0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64,
+}
+
 // Registry is a named collection of metrics. The zero value is not usable;
 // use New. Handle resolution (Counter, Histogram) is mutex-guarded and
 // intended for init time; the handles themselves are lock-free.

@@ -25,7 +25,7 @@ type admission struct {
 	sem chan struct{}
 
 	mu      sync.Mutex // lockrank: 50 — leaf of the serving layer
-	waiters int              // requests queued for a slot (≤ queueDepth)
+	waiters int        // requests queued for a slot (≤ queueDepth)
 	buckets map[string]*bucket
 
 	queueDepth int

@@ -19,7 +19,7 @@ import (
 
 // coalescer is the collector. One per server.
 type coalescer struct {
-	db     *mstsearch.DB
+	db     Engine
 	opts   mstsearch.Options // batch-level options (Parallelism etc.)
 	window time.Duration     // how long the collector waits to fill a batch
 	max    int               // max queries per batch
@@ -36,7 +36,7 @@ type pendingQuery struct {
 }
 
 // newCoalescer starts the collector goroutine.
-func newCoalescer(db *mstsearch.DB, base context.Context, opts mstsearch.Options, window time.Duration, max int) *coalescer {
+func newCoalescer(db Engine, base context.Context, opts mstsearch.Options, window time.Duration, max int) *coalescer {
 	c := &coalescer{
 		db:     db,
 		opts:   opts,

@@ -1,0 +1,30 @@
+package server
+
+import (
+	"context"
+
+	mstsearch "mstsearch"
+)
+
+// Engine is the storage-and-search surface the server serves. Both
+// *mstsearch.DB (one node) and *shard.Cluster (a horizontally sharded
+// store) satisfy it, so the same HTTP layer — admission ladder, deadline
+// propagation, coalescing, envelopes — fronts either; the handlers never
+// know whether a query fanned out.
+type Engine interface {
+	Query(ctx context.Context, req mstsearch.Request) (mstsearch.Response, error)
+	KMostSimilarBatch(ctx context.Context, queries []mstsearch.BatchQuery, opts mstsearch.Options) []mstsearch.BatchResult
+	Range(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.SegmentHit, error)
+	Nearest(ctx context.Context, x, y, t float64, k int) ([]mstsearch.Neighbor, error)
+	Topology(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.TopologyResult, error)
+	Explain(ctx context.Context, req mstsearch.Request) (*mstsearch.ExplainReport, error)
+	Add(tr mstsearch.Trajectory) error
+	AppendSample(id mstsearch.ID, s mstsearch.Sample) error
+	Get(id mstsearch.ID) *mstsearch.Trajectory
+	Len() int
+	NumSegments() int
+	CheckpointContext(ctx context.Context) error
+}
+
+// Compile-time check: the single-node DB satisfies the serving surface.
+var _ Engine = (*mstsearch.DB)(nil)

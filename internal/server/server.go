@@ -102,10 +102,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server serves the trajectory-search API over one DB. Create with New,
-// mount as an http.Handler, Close on shutdown.
+// Server serves the trajectory-search API over an Engine — a single DB
+// (New) or any other implementation such as a shard.Cluster (NewEngine).
+// Mount as an http.Handler, Close on shutdown.
 type Server struct {
-	db   *mstsearch.DB
+	db   Engine
 	cfg  Config
 	adm  *admission
 	coal *coalescer // nil when coalescing is disabled
@@ -123,10 +124,17 @@ type Server struct {
 	testHookPreHandle func(route string)
 }
 
-// New builds a Server over db. The DB keeps working as a library
+// New builds a Server over a single DB. The DB keeps working as a library
 // alongside the server; EnableWarmBuffer is recommended before serving
 // so queries share a warm pool.
 func New(db *mstsearch.DB, cfg Config) *Server {
+	return NewEngine(db, cfg)
+}
+
+// NewEngine builds a Server over any Engine — the entry point for serving
+// a shard.Cluster (or a test double) behind the same admission ladder,
+// deadline propagation, and coalescing a single DB gets.
+func NewEngine(db Engine, cfg Config) *Server {
 	def := DefaultConfig()
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = def.DefaultDeadline

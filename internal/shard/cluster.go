@@ -1,0 +1,290 @@
+// Package shard partitions a trajectory store horizontally across N
+// independent DB shards and answers k-MST queries by scatter-gather: every
+// shard runs the paper's best-first search over its own index, and the
+// coordinator merges the per-shard k-buffers into a global top-k — pruning
+// whole shards with the same certified OPTDISSIM lower bounds the search
+// uses inside one tree (Frentzos et al., §4.2, lifted to the root MBB).
+//
+// # Correctness model
+//
+// Each trajectory lives on exactly one shard (a pure placement function of
+// the trajectory), so the global candidate set is the disjoint union of
+// the shards'. A shard's root-MBB lower bound holds for every trajectory
+// it stores; a shard is skipped only when that bound strictly exceeds the
+// global k-th pessimistic bound over already-collected results (or is
+// +Inf — provably no covering trajectory). Under exact refinement
+// (Options.ExactRefine, the default), merged results, order, and Certified
+// flags are bit-identical to running the same query on one DB holding all
+// trajectories — the property the differential suite enforces at every
+// shard count and placement.
+//
+// # Durability
+//
+// A durable cluster (Open) gives each shard its own subdirectory with its
+// own WAL and checkpoints — shards fail and recover as independent units —
+// plus an atomically written cluster manifest pinning (kind, shard count,
+// placement) so a directory cannot silently reopen under a different
+// partitioning.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	mstsearch "mstsearch"
+)
+
+// Options tunes a cluster; the zero value is sensible.
+type Options struct {
+	// Workers bounds how many shards one Query searches concurrently
+	// (<= 0: min(GOMAXPROCS, shard count)). The wave schedule — and with
+	// it the exact pruned-shard count — is deterministic for a fixed
+	// Workers value.
+	Workers int
+	// Durable configures every shard's WAL/checkpoint behaviour on a
+	// durable cluster (Open); ignored by New.
+	Durable mstsearch.DurableOptions
+	// ShardDurable, when non-nil, overrides Durable for individual shards
+	// — the seam the crash tests use to aim a PowercutBudget at one
+	// shard's log while its siblings stay healthy.
+	ShardDurable func(shard int) mstsearch.DurableOptions
+}
+
+// Cluster is a horizontally sharded trajectory store. Create with New
+// (in-memory) or Open (durable); a Cluster is safe for concurrent use with
+// the same locking contract as a single DB — queries run in parallel and
+// serialize against mutations.
+type Cluster struct {
+	// Immutable after New/Open: the shard set, placement, and options
+	// never change, so reads need no lock — each shard's own DB.mu
+	// protects its contents.
+	shards []*mstsearch.DB
+	place  Placement
+	kind   mstsearch.IndexKind
+	opts   Options
+
+	// mu guards the routing table and gives queries a cluster-wide
+	// snapshot against mutations. It orders the cluster above its
+	// shards: every path takes it before any shard's own lock, and no
+	// shard method ever calls back into the cluster.
+	mu  sync.RWMutex         // lockrank: 5 — held before any shard DB.mu (rank 10)
+	dir map[mstsearch.ID]int // trajectory → owning shard
+}
+
+// New creates an in-memory cluster of n shards under the placement policy.
+func New(kind mstsearch.IndexKind, n int, place Placement, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", n)
+	}
+	if place == nil {
+		place = HashPlacement{}
+	}
+	c := &Cluster{
+		shards: make([]*mstsearch.DB, n),
+		place:  place,
+		kind:   kind,
+		opts:   opts,
+		dir:    make(map[mstsearch.ID]int),
+	}
+	for i := range c.shards {
+		c.shards[i] = mstsearch.Open(kind)
+	}
+	return c, nil
+}
+
+// Open opens (or creates) a durable cluster in dir: shard i journals into
+// dir/shard-<i> with its own WAL and checkpoints (see mstsearch.
+// OpenDurable), and dir/cluster.json pins (kind, n, placement) so a later
+// Open with different parameters fails with ErrManifestMismatch instead of
+// scattering new writes under a different partitioning. Recovery is
+// per-shard — each shard replays its own log — and the routing table is
+// re-derived from the recovered shards' contents.
+func Open(dir string, kind mstsearch.IndexKind, n int, place Placement, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", n)
+	}
+	if place == nil {
+		place = HashPlacement{}
+	}
+	if err := checkManifest(dir, kind, n, place.Name()); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		shards: make([]*mstsearch.DB, n),
+		place:  place,
+		kind:   kind,
+		opts:   opts,
+		dir:    make(map[mstsearch.ID]int),
+	}
+	for i := range c.shards {
+		do := opts.Durable
+		if opts.ShardDurable != nil {
+			do = opts.ShardDurable(i)
+		}
+		db, err := mstsearch.OpenDurable(filepath.Join(dir, shardDirName(i)), kind, do)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				c.shards[j].Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shards[i] = db
+		for _, id := range db.IDs() {
+			if prev, dup := c.dir[id]; dup {
+				for j := 0; j <= i; j++ {
+					c.shards[j].Close()
+				}
+				return nil, fmt.Errorf("%w: trajectory %d recovered on shards %d and %d", mstsearch.ErrDuplicateID, id, prev, i)
+			}
+			c.dir[id] = i
+		}
+	}
+	return c, nil
+}
+
+// shardDirName is shard i's subdirectory under the cluster root.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes one shard's DB — the seam tests use to aim fault injection
+// (SetPagerWrapper) or direct inspection at a single shard. Routing
+// through the returned DB directly bypasses the cluster's routing table;
+// mutate through the Cluster instead.
+func (c *Cluster) Shard(i int) *mstsearch.DB { return c.shards[i] }
+
+// Placement returns the cluster's placement policy.
+func (c *Cluster) Placement() Placement { return c.place }
+
+// Kind returns the index structure backing every shard.
+func (c *Cluster) Kind() mstsearch.IndexKind { return c.kind }
+
+// Add validates and stores one trajectory on its placement-assigned shard.
+// On a durable cluster the shard journals (and, under SyncAlways, fsyncs)
+// the trajectory before applying it. Duplicate IDs are refused cluster-
+// wide, not just per shard.
+func (c *Cluster) Add(tr mstsearch.Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("mstsearch: %w", err)
+	}
+	target := c.place.Shard(&tr, len(c.shards))
+	if target < 0 || target >= len(c.shards) {
+		return fmt.Errorf("shard: placement %s routed trajectory %d to shard %d of %d", c.place.Name(), tr.ID, target, len(c.shards))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, dup := c.dir[tr.ID]; dup {
+		return fmt.Errorf("%w: %d (on shard %d)", mstsearch.ErrDuplicateID, tr.ID, prev)
+	}
+	if err := c.shards[target].Add(tr); err != nil {
+		return err
+	}
+	c.dir[tr.ID] = target
+	metMutations.Inc()
+	return nil
+}
+
+// AppendSample extends a stored trajectory on its owning shard (the
+// online maintenance path, journaled on a durable cluster).
+func (c *Cluster) AppendSample(id mstsearch.ID, s mstsearch.Sample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.dir[id]
+	if !ok {
+		return fmt.Errorf("mstsearch: unknown trajectory %d", id)
+	}
+	if err := c.shards[i].AppendSample(id, s); err != nil {
+		return err
+	}
+	metMutations.Inc()
+	return nil
+}
+
+// Get returns a snapshot of a stored trajectory, or nil.
+func (c *Cluster) Get(id mstsearch.ID) *mstsearch.Trajectory {
+	c.mu.RLock()
+	i, ok := c.dir[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return c.shards[i].Get(id)
+}
+
+// Owner returns the shard holding id, or -1.
+func (c *Cluster) Owner(id mstsearch.ID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i, ok := c.dir[id]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Len returns the number of stored trajectories across all shards.
+func (c *Cluster) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.dir)
+}
+
+// NumSegments returns the total indexed segment count across all shards.
+func (c *Cluster) NumSegments() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, db := range c.shards {
+		n += db.NumSegments()
+	}
+	return n
+}
+
+// EnableWarmBuffer switches every shard to a shared warm buffer pool (see
+// mstsearch.DB.EnableWarmBuffer).
+func (c *Cluster) EnableWarmBuffer() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, db := range c.shards {
+		db.EnableWarmBuffer()
+	}
+}
+
+// Checkpoint folds every shard's WAL into a fresh snapshot (durable
+// clusters only; see mstsearch.DB.Checkpoint).
+func (c *Cluster) Checkpoint() error {
+	return c.CheckpointContext(context.Background())
+}
+
+// CheckpointContext checkpoints every shard under the context, stopping at
+// the first failure. Shards checkpoint independently: a failure on shard i
+// leaves shards < i checkpointed and shards >= i recoverable from their
+// old snapshot + log, exactly as a single DB's aborted checkpoint does.
+func (c *Cluster) CheckpointContext(ctx context.Context) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, db := range c.shards {
+		if err := db.CheckpointContext(ctx); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases every shard's log; the first error wins but
+// every shard is closed. Safe on an in-memory cluster (no-op) and
+// idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for i, db := range c.shards {
+		if err := db.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	mstsearch "mstsearch"
+)
+
+// Range returns every stored segment intersecting the window during the
+// interval, gathered from all shards. Each trajectory's segments live on
+// exactly one shard, so the union is duplicate-free; hits come back sorted
+// by (trajectory, sequence number) for a deterministic cluster-wide order.
+func (c *Cluster) Range(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.SegmentHit, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.shards)
+	hits := make([][]mstsearch.SegmentHit, n)
+	errs := make([]error, n)
+	runBounded(n, c.workers(), func(i int) {
+		hits[i], errs[i] = c.shards[i].Range(ctx, w, iv)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var out []mstsearch.SegmentHit
+	for _, h := range hits {
+		out = append(out, h...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TrajID != out[j].TrajID {
+			return out[i].TrajID < out[j].TrajID
+		}
+		return out[i].SeqNo < out[j].SeqNo
+	})
+	return out, nil
+}
+
+// Nearest returns the k moving objects closest to (x, y) at instant t,
+// merged from every shard's local k-NN answer by (distance, trajectory ID).
+func (c *Cluster) Nearest(ctx context.Context, x, y, t float64, k int) ([]mstsearch.Neighbor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.shards)
+	res := make([][]mstsearch.Neighbor, n)
+	errs := make([]error, n)
+	runBounded(n, c.workers(), func(i int) {
+		res[i], errs[i] = c.shards[i].Nearest(ctx, x, y, t, k)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var all []mstsearch.Neighbor
+	for _, r := range res {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].TrajID < all[j].TrajID
+	})
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// Topology classifies every stored trajectory touching the window during
+// the interval, gathered from all shards and sorted by trajectory ID (the
+// same order a single DB reports).
+func (c *Cluster) Topology(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.TopologyResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.shards)
+	res := make([][]mstsearch.TopologyResult, n)
+	errs := make([]error, n)
+	runBounded(n, c.workers(), func(i int) {
+		res[i], errs[i] = c.shards[i].Topology(ctx, w, iv)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var out []mstsearch.TopologyResult
+	for _, r := range res {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TrajID < out[j].TrajID })
+	return out, nil
+}
+
+// KMostSimilarBatch answers many k-MST queries against the cluster as one
+// unit of work, with the same contract as mstsearch.DB.KMostSimilarBatch:
+// results in input order, per-slot failure isolation, per-slot Ctx/Opts
+// overrides, and snapshot semantics — the batch holds the cluster read
+// lock for its whole duration, so cluster mutations wait and every slot
+// sees the same contents. opts.Parallelism caps concurrent slots; each
+// slot runs its own scatter-gather (bounded separately by
+// Options.Workers).
+func (c *Cluster) KMostSimilarBatch(ctx context.Context, queries []mstsearch.BatchQuery, opts mstsearch.Options) []mstsearch.BatchResult {
+	out := make([]mstsearch.BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = c.workers()
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	runBounded(len(queries), workers, func(i int) {
+		bq := queries[i]
+		slotOpts := opts
+		if bq.Opts != nil {
+			slotOpts = *bq.Opts
+		}
+		slotCtx, stop := mergeCancel(ctx, bq.Ctx)
+		resp, _, err := c.queryLocked(slotCtx, mstsearch.Request{
+			Q: bq.Q, Interval: mstsearch.Interval{T1: bq.T1, T2: bq.T2},
+			K: bq.K, Options: slotOpts,
+		})
+		stop()
+		out[i] = mstsearch.BatchResult{Results: resp.Results, Stats: resp.Stats, Err: err}
+	})
+	return out
+}
+
+// mergeCancel derives a context from primary that is additionally canceled
+// when secondary is done; a nil secondary means primary alone.
+func mergeCancel(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	if secondary == nil {
+		return primary, func() {}
+	}
+	ctx, cancel := context.WithCancel(primary)
+	unlink := context.AfterFunc(secondary, cancel)
+	return ctx, func() {
+		unlink()
+		cancel()
+	}
+}
+
+// Explain runs the request across the cluster with tracing on and reports
+// the aggregated prediction and actuals: the cost estimate sums each
+// shard's selectivity model, the trace and per-level node accesses fold
+// every shard's events together, and Results/Stats are exactly what Query
+// would return. The report's Kind/Trajectories/Segments describe the whole
+// cluster.
+func (c *Cluster) Explain(ctx context.Context, req mstsearch.Request) (*mstsearch.ExplainReport, error) {
+	start := time.Now()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	rep := &mstsearch.ExplainReport{
+		Kind:         c.kind,
+		K:            req.K,
+		Interval:     req.Interval,
+		Trajectories: len(c.dir),
+	}
+	for _, db := range c.shards {
+		rep.Segments += db.NumSegments()
+	}
+
+	// Aggregate the shards' cost models: workloads add; the corridor
+	// radius is the widest any shard predicts; selectivity is weighted by
+	// each shard's share of the segments.
+	var selWeighted float64
+	for _, db := range c.shards {
+		est, err := db.EstimateQueryCost(req.Q, req.Interval.T1, req.Interval.T2, req.K)
+		if err != nil {
+			return nil, err
+		}
+		rep.Estimate.ExpectedSegments += est.ExpectedSegments
+		rep.Estimate.ExpectedLeafPages += est.ExpectedLeafPages
+		if est.CorridorRadius > rep.Estimate.CorridorRadius {
+			rep.Estimate.CorridorRadius = est.CorridorRadius
+		}
+		selWeighted += est.RangeSelectivity * float64(db.NumSegments())
+	}
+	if rep.Segments > 0 {
+		rep.Estimate.RangeSelectivity = selWeighted / float64(rep.Segments)
+	}
+
+	// Count every event — shard searches run concurrently, so the hook
+	// locks; user hooks still see each event, per the Explain contract.
+	var mu sync.Mutex
+	user := req.Options.Trace
+	rep.Trace.ByKind = make(map[mstsearch.EventKind]int)
+	req.Options.Trace = func(ev mstsearch.TraceEvent) {
+		mu.Lock()
+		rep.Trace.Events++
+		rep.Trace.ByKind[ev.Kind]++
+		if ev.Kind == mstsearch.EventNodeVisit {
+			for len(rep.Levels) <= ev.Level {
+				rep.Levels = append(rep.Levels, mstsearch.LevelAccesses{Level: len(rep.Levels)})
+			}
+			rep.Levels[ev.Level].Nodes++
+			if ev.Leaf {
+				rep.Levels[ev.Level].Leaves++
+			}
+		}
+		mu.Unlock()
+		if user != nil {
+			user(ev)
+		}
+	}
+
+	resp, _, err := c.queryLocked(ctx, req)
+	rep.Duration = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = resp.Results
+	rep.Stats = resp.Stats
+	return rep, nil
+}
+
+// workers resolves the cluster's scatter width: Options.Workers, or
+// GOMAXPROCS when unset, never wider than the shard count.
+func (c *Cluster) workers() int {
+	w := c.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.shards) {
+		w = len(c.shards)
+	}
+	return w
+}
+
+// firstError returns the lowest-index non-nil error, keeping multi-shard
+// failure surfacing deterministic.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

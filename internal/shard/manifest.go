@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	mstsearch "mstsearch"
+)
+
+// ErrManifestMismatch reports a durable cluster directory whose manifest
+// disagrees with the parameters Open was called with: reopening a cluster
+// under a different kind, shard count, or placement would scatter new
+// writes inconsistently with the data already on disk.
+var ErrManifestMismatch = errors.New("shard: cluster manifest mismatch")
+
+// manifestName is the cluster manifest file inside the cluster root.
+const manifestName = "cluster.json"
+
+// manifest pins the partitioning of a durable cluster directory.
+type manifest struct {
+	Version   int    `json:"version"`
+	Kind      int    `json:"kind"`
+	KindName  string `json:"kind_name"` // informational; Kind decides
+	Shards    int    `json:"shards"`
+	Placement string `json:"placement"`
+}
+
+const manifestVersion = 1
+
+// checkManifest loads dir's manifest and verifies it against the requested
+// parameters, writing a fresh manifest (atomically: temp file, fsync,
+// rename, directory fsync) when none exists yet.
+func checkManifest(dir string, kind mstsearch.IndexKind, n int, placement string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		m := manifest{
+			Version:   manifestVersion,
+			Kind:      int(kind),
+			KindName:  kind.String(),
+			Shards:    n,
+			Placement: placement,
+		}
+		buf, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		return mstsearch.WriteFileAtomic(path, append(buf, '\n'))
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("%w: unreadable %s: %v", ErrManifestMismatch, manifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("%w: manifest version %d, supported %d", ErrManifestMismatch, m.Version, manifestVersion)
+	}
+	if m.Kind != int(kind) || m.Shards != n || m.Placement != placement {
+		return fmt.Errorf("%w: directory holds kind=%s shards=%d placement=%s, requested kind=%s shards=%d placement=%s",
+			ErrManifestMismatch, mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, kind, n, placement)
+	}
+	return nil
+}
+
+// ReadManifest reports the partitioning a durable cluster directory was
+// created with — the `mststore cluster-info` surface.
+func ReadManifest(dir string) (kind mstsearch.IndexKind, n int, placement string, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, 0, "", fmt.Errorf("%w: unreadable %s: %v", ErrManifestMismatch, manifestName, err)
+	}
+	return mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, nil
+}

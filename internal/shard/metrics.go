@@ -1,0 +1,13 @@
+package shard
+
+import "mstsearch/internal/obs"
+
+// Cluster-level metrics, registered on the process-wide obs registry (the
+// same one /metrics and MetricsVar export).
+var (
+	metQueries      = obs.Default.Counter("shard.queries")
+	metMutations    = obs.Default.Counter("shard.mutations")
+	metFanout       = obs.Default.Histogram("shard.fanout", obs.FanoutBounds)
+	metPruned       = obs.Default.Histogram("shard.pruned", obs.FanoutBounds)
+	metMergeResults = obs.Default.Histogram("shard.merge.results", obs.FanoutBounds)
+)

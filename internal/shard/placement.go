@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	mstsearch "mstsearch"
+)
+
+// Placement decides which shard owns a trajectory. Implementations must be
+// pure functions of the trajectory and shard count: the cluster re-derives
+// ownership from recovered shards on Open, and the differential suite
+// replays the same corpus through every placement expecting identical
+// query answers.
+type Placement interface {
+	// Name identifies the policy in the cluster manifest ("hash",
+	// "spatial"); Open refuses a directory whose manifest names a
+	// different policy.
+	Name() string
+	// Shard maps a trajectory onto [0, n). n is always >= 1 and the
+	// trajectory has at least one sample (the cluster validates before
+	// routing).
+	Shard(tr *mstsearch.Trajectory, n int) int
+}
+
+// HashPlacement spreads trajectories uniformly by FNV-1a of their ID —
+// the load-balancing default with no data-dependent skew.
+type HashPlacement struct{}
+
+// Name implements Placement.
+func (HashPlacement) Name() string { return "hash" }
+
+// Shard implements Placement.
+func (HashPlacement) Shard(tr *mstsearch.Trajectory, n int) int {
+	h := fnv.New64a()
+	var b [8]byte
+	id := uint64(tr.ID)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// SpatialPlacement stripes trajectories across shards by the X coordinate
+// of their first sample over [MinX, MaxX]: co-located trajectories land on
+// the same shard, so queries confined to one region let the coordinator's
+// bound check prune the other shards entirely. The zero value stripes over
+// the unit workspace [0, 1]. Out-of-range trajectories clamp to the edge
+// shards.
+type SpatialPlacement struct {
+	MinX, MaxX float64
+}
+
+// Name implements Placement.
+func (SpatialPlacement) Name() string { return "spatial" }
+
+// Shard implements Placement.
+func (p SpatialPlacement) Shard(tr *mstsearch.Trajectory, n int) int {
+	min, max := p.MinX, p.MaxX
+	if min == 0 && max == 0 {
+		min, max = 0, 1
+	}
+	if max <= min {
+		return 0
+	}
+	x := tr.Samples[0].X
+	i := int(float64(n) * (x - min) / (max - min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// PlacementByName resolves a manifest / CLI policy name.
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "hash":
+		return HashPlacement{}, nil
+	case "spatial":
+		return SpatialPlacement{}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown placement %q (want hash or spatial)", name)
+	}
+}

@@ -22,12 +22,12 @@ func TestStripedPoolShape(t *testing.T) {
 		wantCap           int
 		wantStripes       int
 	}{
-		{20, 0, 20, 16},   // default stripes
-		{20, 4, 20, 4},    // explicit power of two
-		{20, 6, 20, 4},    // rounded down to power of two
-		{3, 0, 3, 2},      // stripes clamped to capacity
-		{1, 8, 1, 1},      // degenerate single-frame pool
-		{0, 0, 1, 1},      // capacity clamped to 1
+		{20, 0, 20, 16},      // default stripes
+		{20, 4, 20, 4},       // explicit power of two
+		{20, 6, 20, 4},       // rounded down to power of two
+		{3, 0, 3, 2},         // stripes clamped to capacity
+		{1, 8, 1, 1},         // degenerate single-frame pool
+		{0, 0, 1, 1},         // capacity clamped to 1
 		{100, 1000, 100, 64}, // stripes clamped then rounded
 	}
 	for _, c := range cases {

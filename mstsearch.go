@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 
 	"mstsearch/internal/baselines"
@@ -115,6 +116,14 @@ type SearchStats struct {
 	// budget, with per-result Certified flags separating proven answers
 	// from provisional ones.
 	Degraded bool
+	// CertFloor is a certified lower bound on the DISSIM of every stored
+	// trajectory covering the query period that was NOT returned: +Inf
+	// when the search proved nothing was left behind, finite when budget
+	// degradation or pruning left trajectories only bounded from below.
+	// A scatter-gather coordinator (internal/shard) compares one shard's
+	// pessimistic result bounds against its siblings' floors to certify a
+	// merged top-k.
+	CertFloor float64
 }
 
 // Options tunes a search beyond the defaults; the zero value is sensible.
@@ -183,6 +192,8 @@ const (
 	EventRefineStart       = mst.EventRefineStart
 	EventRefined           = mst.EventRefined
 	EventRefineDone        = mst.EventRefineDone
+	EventShardScatter      = mst.EventShardScatter
+	EventShardPrune        = mst.EventShardPrune
 )
 
 // DB is a trajectory database: an in-memory trajectory store plus a paged
@@ -223,7 +234,7 @@ type DB struct {
 	// buffer pool — the fault-injection / instrumentation seam.
 	pagerWrap func(Pager) Pager
 
-	dsMu sync.Mutex // lockrank: 20 — taken under db.mu, never the reverse
+	dsMu sync.Mutex             // lockrank: 20 — taken under db.mu, never the reverse
 	ds   *trajectory.Dataset    // cached view over trajs; nil after Add
 	hist *selectivity.Histogram // cached selectivity histogram; nil after Add
 }
@@ -565,6 +576,27 @@ func (db *DB) Len() int {
 	return len(db.trajs)
 }
 
+// Kind reports the index structure backing the database.
+func (db *DB) Kind() IndexKind {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.kind
+}
+
+// IDs returns the stored trajectory IDs in ascending order — the
+// enumeration a cluster coordinator (internal/shard) uses to rebuild its
+// routing table from recovered shards.
+func (db *DB) IDs() []ID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]ID, len(db.trajs))
+	for i := range db.trajs {
+		out[i] = db.trajs[i].ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // NumSegments returns the total indexed segment count.
 func (db *DB) NumSegments() int {
 	db.mu.RLock()
@@ -740,6 +772,7 @@ func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, 
 		ExactRefined:    st.ExactRefined,
 		TerminatedEarly: st.TerminatedEarly,
 		Degraded:        st.Degraded,
+		CertFloor:       st.CertFloor,
 	}, nil
 }
 

@@ -152,6 +152,45 @@ func (db *DB) saveLocked(path string) (err error) {
 	return wal.SyncDir(dir)
 }
 
+// WriteFileAtomic writes data to path with the snapshot discipline Save
+// uses: a uniquely named temp file in the target directory, fsync, rename
+// over path, directory fsync. A crash at any point leaves either the old
+// file or the new one — never a torn mix. The cluster layer
+// (internal/shard) persists its manifest through it.
+func WriteFileAtomic(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	closed := false
+	defer func() {
+		if !closed {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	closed = true
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
 // indexMeta returns the active tree's root metadata in a common shape.
 // Callers must hold db.mu (either side): it reads db.kind and the tree
 // handles.

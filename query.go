@@ -157,6 +157,23 @@ func (db *DB) Query(ctx context.Context, req Request) (Response, error) {
 	return Response{Results: results, Stats: stats, Trace: sum}, err
 }
 
+// QueryLowerBound returns a certified lower bound on the DISSIM between
+// req.Q and EVERY stored trajectory over req.Interval, from a single
+// root-page read: MINDIST(q, root MBB) · duration, the speed-independent
+// OPTDISSIM bound applied to the index root. +Inf means the database
+// provably holds no trajectory covering the period. A scatter-gather
+// coordinator (internal/shard) calls this per shard to prune shards whose
+// bound already exceeds the global k-th pessimistic bound; req.K and
+// req.Options are ignored.
+func (db *DB) QueryLowerBound(ctx context.Context, req Request) (float64, error) {
+	if err := index.Canceled(ctx); err != nil {
+		return 0, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return mst.LowerBound(db.treeOn(db.queryPager()), req.Q, req.Interval.T1, req.Interval.T2)
+}
+
 // QueryAuto answers the request through whichever execution plan the
 // selectivity cost model predicts is cheaper: the index-backed best-first
 // search when the predicted result corridor is selective, a linear scan of

@@ -35,7 +35,7 @@ type SlowQuery struct {
 type slowLog struct {
 	threshold atomic.Int64 // nanoseconds; 0 disables
 
-	mu      sync.Mutex // lockrank: 60 — leaf: nothing is acquired under it
+	mu      sync.Mutex  // lockrank: 60 — leaf: nothing is acquired under it
 	entries []SlowQuery // ring buffer, allocated on first slow query
 	next    int         // ring cursor
 	total   int         // entries ever logged (caps the readable count)
