@@ -16,6 +16,12 @@ type BatchQuery struct {
 	T1, T2 float64
 	K      int
 
+	// Metric and MetricEps select this slot's distance function, as in
+	// Request: the zero value is DISSIM, the baseline metrics require a
+	// metric index kind.
+	Metric    Metric
+	MetricEps float64
+
 	// Ctx, when non-nil, governs this slot alone: the slot aborts when
 	// either Ctx or the batch-level context is done, so a serving layer
 	// can coalesce requests with different deadlines onto one batch
@@ -93,7 +99,7 @@ func (db *DB) KMostSimilarBatch(ctx context.Context, queries []BatchQuery, opts 
 				bq := queries[i]
 				slotCtx, slotOpts, stop := slotContext(ctx, bq, opts)
 				start := time.Now()
-				res, st, err := db.kMostSimilarOn(slotCtx, bp, bq.Q, bq.T1, bq.T2, bq.K, slotOpts)
+				res, st, err := db.kMostSimilarOn(slotCtx, bp, bq.Q, bq.T1, bq.T2, bq.K, bq.Metric, bq.MetricEps, slotOpts)
 				stop()
 				out[i] = BatchResult{Results: res, Stats: st, Err: err}
 				d := metBatch.record(start, st.Degraded, err)

@@ -25,7 +25,7 @@ func batchFixture(t *testing.T, kind IndexKind, seed int64) (*DB, []Trajectory) 
 // exactly what a serial loop of KMostSimilarOpts returns — across kinds
 // and worker counts.
 func TestBatchMatchesSerialLoop(t *testing.T) {
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			db, trajs := batchFixture(t, kind, 51)
 			rng := rand.New(rand.NewSource(52))

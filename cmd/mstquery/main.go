@@ -30,7 +30,9 @@ func main() {
 		queryID   = flag.Uint("queryid", 0, "use this dataset trajectory as the query")
 		p         = flag.Float64("p", 0, "TD-TR compression ratio applied to the query (0 = none)")
 		k         = flag.Int("k", 1, "number of results")
-		tree      = flag.String("tree", "rtree", "index structure: rtree or tb")
+		tree      = flag.String("tree", "rtree", "index structure: rtree, tb, str, or ntree")
+		metric    = flag.String("metric", "", "similarity metric: dissim (default), dtw, lcss, or edr (non-dissim needs -tree ntree)")
+		eps       = flag.Float64("eps", 0, "match threshold for the lcss and edr metrics")
 		from      = flag.Float64("from", 0, "query period start (default: query lifespan)")
 		to        = flag.Float64("to", 0, "query period end")
 		relaxed   = flag.Bool("relaxed", false, "time-relaxed search: best DISSIM over any time shift")
@@ -47,13 +49,10 @@ func main() {
 	}
 
 	trajs := readCSV(*dataPath)
-	kind := mstsearch.RTree3D
-	switch *tree {
-	case "tb", "tbtree":
-		kind = mstsearch.TBTree
-	case "str", "strtree":
-		kind = mstsearch.STRTree
-	}
+	kind, err := mstsearch.ParseIndexKind(*tree)
+	fail(err)
+	m, err := mstsearch.ParseMetric(*metric)
+	fail(err)
 
 	// The non-similarity query modes need no query trajectory.
 	if *nn != "" || *rangeQ != "" || *topo != "" {
@@ -138,10 +137,12 @@ func main() {
 		t1, t2 = q.StartTime(), q.EndTime()
 	}
 	req := mstsearch.Request{
-		Q:        &q,
-		Interval: mstsearch.Interval{T1: t1, T2: t2},
-		K:        *k,
-		Options:  mstsearch.DefaultOptions(),
+		Q:         &q,
+		Interval:  mstsearch.Interval{T1: t1, T2: t2},
+		K:         *k,
+		Metric:    m,
+		MetricEps: *eps,
+		Options:   mstsearch.DefaultOptions(),
 	}
 	if *explain {
 		rep, err := db.Explain(context.Background(), req)
@@ -153,11 +154,11 @@ func main() {
 	fail(err)
 	res, stats := resp.Results, resp.Stats
 
-	fmt.Printf("k=%d MST over [%g, %g]: %d results, pruning %.1f%%, %d/%d nodes, %d page reads\n",
-		*k, t1, t2, len(res), stats.PruningPower*100,
+	fmt.Printf("k=%d MST (%s) over [%g, %g]: %d results, pruning %.1f%%, %d/%d nodes, %d page reads\n",
+		*k, m, t1, t2, len(res), stats.PruningPower*100,
 		stats.NodesAccessed, stats.TotalNodes, stats.PageReads)
 	for i, r := range res {
-		fmt.Printf("%2d. trajectory %-6d DISSIM = %.6f\n", i+1, r.TrajID, r.Dissim)
+		fmt.Printf("%2d. trajectory %-6d %s = %.6f\n", i+1, r.TrajID, m, r.Dissim)
 	}
 }
 

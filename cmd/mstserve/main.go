@@ -57,7 +57,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		dir        = flag.String("dir", "", "durable store directory (mststore format)")
-		tree       = flag.String("tree", "rtree", "index structure for a new store: rtree, tb, or str")
+		tree       = flag.String("tree", "rtree", "index structure for a new store: rtree, tb, str, or ntree")
 		synthetic  = flag.Int("synthetic", 0, "serve an in-memory GSTD fleet of N objects instead of a store")
 		seed       = flag.Int64("seed", 1, "synthetic fleet seed")
 		maxConc    = flag.Int("max-concurrent", 0, "global in-flight cap (0 = 2×GOMAXPROCS)")
@@ -189,7 +189,7 @@ func openDB(dir, tree string, synthetic int, seed int64) (*mstsearch.DB, error) 
 	if errors.Is(err, mstsearch.ErrSnapshotKind) {
 		// The directory is pinned to another index kind; serve what it
 		// holds rather than demanding the operator remember the flag.
-		for _, k := range []mstsearch.IndexKind{mstsearch.RTree3D, mstsearch.TBTree, mstsearch.STRTree} {
+		for _, k := range mstsearch.IndexKinds() {
 			if k == kind {
 				continue
 			}
@@ -202,12 +202,10 @@ func openDB(dir, tree string, synthetic int, seed int64) (*mstsearch.DB, error) 
 }
 
 func parseKind(tree string) mstsearch.IndexKind {
-	switch tree {
-	case "tb", "tbtree":
-		return mstsearch.TBTree
-	case "str", "strtree":
-		return mstsearch.STRTree
-	default:
-		return mstsearch.RTree3D
+	kind, err := mstsearch.ParseIndexKind(tree)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstserve: %v\n", err)
+		os.Exit(2)
 	}
+	return kind
 }

@@ -78,20 +78,15 @@ func usage() {
 func storeFlags(name string) (*flag.FlagSet, *string, *string, *string) {
 	fs := flag.NewFlagSet("mststore "+name, flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory (required)")
-	tree := fs.String("tree", "rtree", "index structure: rtree, tb, or str")
+	tree := fs.String("tree", "rtree", "index structure: rtree, tb, str, or ntree")
 	sync := fs.String("sync", "always", "fsync policy: always, grouped, or off")
 	return fs, dir, tree, sync
 }
 
 func parseKind(tree string) mstsearch.IndexKind {
-	switch tree {
-	case "tb", "tbtree":
-		return mstsearch.TBTree
-	case "str", "strtree":
-		return mstsearch.STRTree
-	default:
-		return mstsearch.RTree3D
-	}
+	kind, err := mstsearch.ParseIndexKind(tree)
+	fail(err)
+	return kind
 }
 
 func parseSync(s string) mstsearch.SyncMode {
@@ -111,7 +106,7 @@ func open(dir string, kind mstsearch.IndexKind, mode mstsearch.SyncMode) (*mstse
 	opts := mstsearch.DurableOptions{Sync: mode}
 	db, err := mstsearch.OpenDurable(dir, kind, opts)
 	if errors.Is(err, mstsearch.ErrSnapshotKind) {
-		for _, k := range []mstsearch.IndexKind{mstsearch.RTree3D, mstsearch.TBTree, mstsearch.STRTree} {
+		for _, k := range mstsearch.IndexKinds() {
 			if k == kind {
 				continue
 			}

@@ -17,7 +17,7 @@ import (
 // returns a typed error — never a torn read.
 func TestConcurrentQueriesAndMutations(t *testing.T) {
 	testutil.CheckGoroutines(t)
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(71))
 			trajs := fleet(rng, 40, 30)

@@ -248,7 +248,7 @@ func TestCrashSweepVariants(t *testing.T) {
 func TestOpenDurableRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	trajs := fleet(rng, 12, 8)
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			dir := t.TempDir()
 			db, err := OpenDurable(dir, kind, DurableOptions{})

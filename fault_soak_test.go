@@ -250,7 +250,7 @@ func checkExact(t *testing.T, iter int, res []Result, want []scanHit) {
 // typed corruption error, rebuilds with Recover, and verifies queries are
 // exact again.
 func TestRecoverAfterCorruption(t *testing.T) {
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(83))
 			trajs := fleet(rng, 40, 30)

@@ -73,7 +73,22 @@ func (n *Node) Len() int {
 	return len(n.Children)
 }
 
-// Tree is the read-side interface the search algorithm consumes.
+// Index is the structure-agnostic read-side interface: what every index
+// kind — MBB trees and metric trees alike — exposes to the layers above
+// (stats, persistence, cost accounting). Search algorithms downcast to
+// the capability interface they need: Tree for MBB best-first k-MST,
+// MetricTree for pivot/radius pruning.
+type Index interface {
+	// Root returns the root node's page (NilPage for an empty index).
+	Root() storage.PageID
+	// Height returns the number of levels (1 = root is a leaf; 0 = empty).
+	Height() int
+	// NumNodes returns the total number of nodes, the denominator of the
+	// pruning-power metric.
+	NumNodes() int
+}
+
+// Tree is the read-side interface the MBB-based k-MST search consumes.
 type Tree interface {
 	// Root returns the root node's page (NilPage for an empty tree).
 	Root() storage.PageID
@@ -88,9 +103,20 @@ type Tree interface {
 	NumNodes() int
 }
 
+// MetricTree is the read-side interface of a metric-space index: same
+// page-level accounting as Tree, but nodes carry pivots and covering
+// radii instead of raw segments. See metricnode.go for the node model.
+type MetricTree interface {
+	Index
+	// RootMBB returns the aggregate bound of the whole tree.
+	RootMBB() geom.MBB
+	// ReadMetricNode fetches and decodes one metric node.
+	ReadMetricNode(id storage.PageID) (*MetricNode, error)
+}
+
 // Node page layout (little endian):
 //
-//	[0]    flags: bit0 = leaf
+//	[0]    flags: bit0 = leaf, bit1 = metric node (see metricnode.go)
 //	[1:3]  entry count (uint16)
 //	[3:7]  prev leaf page (uint32; TB-tree chains)
 //	[7:11] next leaf page (uint32)
@@ -177,6 +203,11 @@ func EncodeNode(n *Node, pageSize int) ([]byte, error) {
 // DecodeNode parses a node page.
 func DecodeNode(page storage.PageID, buf []byte) (*Node, error) {
 	if len(buf) < nodeHeaderSize {
+		return nil, ErrCorruptNode
+	}
+	if buf[0]&flagMetric != 0 {
+		// Metric pages (bit1) use a different entry layout; decoding one
+		// as an MBB node would hand out garbage segments.
 		return nil, ErrCorruptNode
 	}
 	n := &Node{

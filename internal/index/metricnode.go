@@ -1,0 +1,274 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mstsearch/internal/geom"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/trajectory"
+)
+
+// Metric node model. A metric tree (internal/ntree) indexes whole
+// trajectories by distance to pivot trajectories instead of by segment
+// MBBs, so its pages carry per-entry distances and covering radii. The
+// pages share the MBB codec's header layout and page store; flagMetric
+// (bit1) keeps the two entry layouts from ever being confused — DecodeNode
+// rejects metric pages and DecodeMetricNode rejects MBB pages, both as
+// ErrCorruptNode.
+//
+// Every entry also carries the aggregate spatio-temporal MBB of the
+// trajectories below it. The MBB serves two jobs the pivot distances
+// cannot: (a) temporal coverage pruning — a subtree whose MinT > t1 or
+// MaxT < t2 holds no trajectory covering the query period, and (b) sound
+// lower bounds for the non-metric distances (DTW/LCSS/EDR), whose pruning
+// derives from point-to-box geometry rather than the triangle inequality.
+const flagMetric = 2
+
+// MetricLeafEntry is one indexed trajectory: its ID, sample count, the
+// exact base distance to the leaf's pivot trajectory, and its MBB.
+type MetricLeafEntry struct {
+	TrajID trajectory.ID
+	// Samples is the trajectory's sample count at index time, bounding
+	// the length of any window-sliced version of it.
+	Samples uint32
+	// DistToPivot is the base distance d(pivot, this) — +Inf when the two
+	// trajectories share no common time span.
+	DistToPivot float64
+	MBB         geom.MBB
+}
+
+// MetricChildEntry is an internal-node entry: a subtree routed by its
+// pivot trajectory with a covering radius.
+type MetricChildEntry struct {
+	Page storage.PageID
+	// PivotID names the subtree's routing trajectory (always a stored
+	// trajectory, so search can fetch its geometry by ID).
+	PivotID trajectory.ID
+	// MinSamples/MaxSamples bound the sample counts of the subtree's
+	// trajectories.
+	MinSamples uint32
+	MaxSamples uint32
+	// Radius covers the subtree: for every trajectory x below, the base
+	// distance d(pivot, x) <= Radius (+Inf when some member shares no
+	// time span with the pivot).
+	Radius float64
+	MBB    geom.MBB
+}
+
+// MetricNode is the in-memory form of one metric-tree node. Exactly one
+// of Leaves/Children is used, per Leaf. A leaf's pivot is PivotID; the
+// root node's pivot is tracked by the tree's metadata.
+type MetricNode struct {
+	Page storage.PageID
+	Leaf bool
+	// PivotID is the node's own routing trajectory (leaf pivots are
+	// stored so leaves are self-describing after a page-by-page reload).
+	PivotID  trajectory.ID
+	Leaves   []MetricLeafEntry
+	Children []MetricChildEntry
+}
+
+// MBB computes the aggregate bound over the node's entries.
+func (n *MetricNode) MBB() geom.MBB {
+	b := geom.EmptyMBB()
+	if n.Leaf {
+		for _, e := range n.Leaves {
+			b = b.Expand(e.MBB)
+		}
+	} else {
+		for _, c := range n.Children {
+			b = b.Expand(c.MBB)
+		}
+	}
+	return b
+}
+
+// Len returns the number of entries in the node.
+func (n *MetricNode) Len() int {
+	if n.Leaf {
+		return len(n.Leaves)
+	}
+	return len(n.Children)
+}
+
+// Metric node page layout (little endian), header shared with MBB nodes:
+//
+//	[0]     flags: bit0 = leaf, bit1 = metric (always set)
+//	[1:3]   entry count (uint16)
+//	[3:7]   pivot trajectory ID (uint32; replaces the TB-tree prev link)
+//	[7:11]  reserved (uint32, zero)
+//	[11:12] padding
+//	[12:]   entries
+//
+// Metric leaf entry (64 B):  trajID u32, samples u32, distToPivot f64,
+//
+//	minx miny mint maxx maxy maxt f64
+//
+// Metric child entry (72 B): page u32, pivotID u32, minSamples u32,
+//
+//	maxSamples u32, radius f64,
+//	minx miny mint maxx maxy maxt f64
+const (
+	metricLeafEntrySize  = 64
+	metricChildEntrySize = 72
+)
+
+// MaxMetricLeafEntries returns the metric leaf fan-out for a page size.
+func MaxMetricLeafEntries(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / metricLeafEntrySize
+}
+
+// MaxMetricChildEntries returns the metric internal fan-out for a page size.
+func MaxMetricChildEntries(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / metricChildEntrySize
+}
+
+// validDist reports whether v can be a stored distance or radius: finite
+// non-negative, or +Inf (disjoint time spans). NaN and negatives are
+// corruption.
+func validDist(v float64) bool { return v >= 0 || math.IsInf(v, 1) }
+
+// EncodeMetricNode serializes n into a page-sized buffer.
+func EncodeMetricNode(n *MetricNode, pageSize int) ([]byte, error) {
+	buf := make([]byte, pageSize)
+	flags := byte(flagMetric)
+	if n.Leaf {
+		flags |= 1
+	}
+	buf[0] = flags
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(n.Len()))
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(n.PivotID))
+	off := nodeHeaderSize
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	putU := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	putMBB := func(b geom.MBB) {
+		putF(b.MinX)
+		putF(b.MinY)
+		putF(b.MinT)
+		putF(b.MaxX)
+		putF(b.MaxY)
+		putF(b.MaxT)
+	}
+	if n.Leaf {
+		if len(n.Leaves) > MaxMetricLeafEntries(pageSize) {
+			return nil, fmt.Errorf("index: metric leaf overflow: %d entries", len(n.Leaves))
+		}
+		for _, e := range n.Leaves {
+			putU(uint32(e.TrajID))
+			putU(e.Samples)
+			putF(e.DistToPivot)
+			putMBB(e.MBB)
+		}
+	} else {
+		if len(n.Children) > MaxMetricChildEntries(pageSize) {
+			return nil, fmt.Errorf("index: metric internal overflow: %d entries", len(n.Children))
+		}
+		for _, c := range n.Children {
+			putU(uint32(c.Page))
+			putU(uint32(c.PivotID))
+			putU(c.MinSamples)
+			putU(c.MaxSamples)
+			putF(c.Radius)
+			putMBB(c.MBB)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeMetricNode parses a metric node page. Pages without the metric
+// flag — including every MBB node page — decode as ErrCorruptNode.
+func DecodeMetricNode(page storage.PageID, buf []byte) (*MetricNode, error) {
+	if len(buf) < nodeHeaderSize || buf[0]&flagMetric == 0 {
+		return nil, ErrCorruptNode
+	}
+	n := &MetricNode{
+		Page:    page,
+		Leaf:    buf[0]&1 != 0,
+		PivotID: trajectory.ID(binary.LittleEndian.Uint32(buf[3:7])),
+	}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := nodeHeaderSize
+	getF := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		return v
+	}
+	getU := func() uint32 {
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v
+	}
+	getMBB := func() geom.MBB {
+		var b geom.MBB
+		b.MinX = getF()
+		b.MinY = getF()
+		b.MinT = getF()
+		b.MaxX = getF()
+		b.MaxY = getF()
+		b.MaxT = getF()
+		return b
+	}
+	if n.Leaf {
+		if count > MaxMetricLeafEntries(len(buf)) {
+			return nil, ErrCorruptNode
+		}
+		n.Leaves = make([]MetricLeafEntry, count)
+		for i := 0; i < count; i++ {
+			e := &n.Leaves[i]
+			e.TrajID = trajectory.ID(getU())
+			e.Samples = getU()
+			e.DistToPivot = getF()
+			e.MBB = getMBB()
+			// An indexed trajectory has >= 2 samples, a well-formed MBB,
+			// and a non-negative (possibly +Inf) pivot distance.
+			if e.Samples < 2 || !validDist(e.DistToPivot) || !e.MBB.WellFormed() {
+				return nil, ErrCorruptNode
+			}
+		}
+	} else {
+		if count > MaxMetricChildEntries(len(buf)) {
+			return nil, ErrCorruptNode
+		}
+		n.Children = make([]MetricChildEntry, count)
+		for i := 0; i < count; i++ {
+			c := &n.Children[i]
+			c.Page = storage.PageID(getU())
+			c.PivotID = trajectory.ID(getU())
+			c.MinSamples = getU()
+			c.MaxSamples = getU()
+			c.Radius = getF()
+			c.MBB = getMBB()
+			if c.MinSamples < 2 || c.MinSamples > c.MaxSamples ||
+				!validDist(c.Radius) || !c.MBB.WellFormed() {
+				return nil, ErrCorruptNode
+			}
+		}
+	}
+	return n, nil
+}
+
+// WriteMetricNode encodes and stores n through the pager.
+func WriteMetricNode(p storage.Pager, n *MetricNode) error {
+	buf, err := EncodeMetricNode(n, p.PageSize())
+	if err != nil {
+		return err
+	}
+	return p.Write(n.Page, buf)
+}
+
+// ReadMetricNode fetches and decodes the metric node at id.
+func ReadMetricNode(p storage.Pager, id storage.PageID) (*MetricNode, error) {
+	buf, err := p.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetricNode(id, buf)
+}

@@ -21,7 +21,7 @@ import (
 // a result, and pruning it cannot change the merged answer.
 func LowerBound(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64) (float64, error) {
 	if q == nil || !(t1 < t2) || !q.Covers(t1, t2) {
-		return 0, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
+		return 0, fmt.Errorf("%w: query trajectory must cover period [%g, %g]", ErrBadQuery, t1, t2)
 	}
 	root := tree.Root()
 	if root == storage.NilPage {

@@ -144,8 +144,10 @@ type Stats struct {
 	CertFloor float64
 }
 
-// ErrBadQuery reports an unusable query trajectory or period.
-var ErrBadQuery = errors.New("mst: query trajectory must cover the query period")
+// ErrBadQuery reports an unusable query: a trajectory not covering the
+// query period, an inverted period, or metric parameters the target
+// index cannot serve. Wrap sites append the specific complaint.
+var ErrBadQuery = errors.New("mst: bad query")
 
 // ErrCanceled reports a search abandoned because its context was canceled
 // or its deadline expired (it also wraps the context's own error).
@@ -243,7 +245,7 @@ func Search(tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Opti
 func SearchContext(ctx context.Context, tree index.Tree, q *trajectory.Trajectory, t1, t2 float64, opts Options) ([]Result, Stats, error) {
 	opts.normalize()
 	if q == nil || !(t1 < t2) || !q.Covers(t1, t2) {
-		return nil, Stats{}, fmt.Errorf("%w: period [%g, %g]", ErrBadQuery, t1, t2)
+		return nil, Stats{}, fmt.Errorf("%w: query trajectory must cover period [%g, %g]", ErrBadQuery, t1, t2)
 	}
 	s := &searcher{
 		ctx:        ctx,

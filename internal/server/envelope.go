@@ -104,7 +104,8 @@ func envelopeFor(err error) (int, ErrorBody) {
 		return http.StatusBadRequest, ErrorBody{
 			Code: CodeNotDurable, Message: err.Error(), Retryable: false,
 		}
-	case errors.Is(err, mstsearch.ErrBadQuery) || errors.Is(err, mstsearch.ErrBadWindow):
+	case errors.Is(err, mstsearch.ErrBadQuery) || errors.Is(err, mstsearch.ErrBadWindow) ||
+		errors.Is(err, mstsearch.ErrUnknownMetric):
 		return http.StatusBadRequest, ErrorBody{
 			Code: CodeBadRequest, Message: err.Error(), Retryable: false,
 		}
@@ -119,8 +120,8 @@ func envelopeFor(err error) (int, ErrorBody) {
 		}
 	case errors.Is(err, mstsearch.ErrWALCorrupt) || errors.Is(err, mstsearch.ErrBadSnapshot) ||
 		errors.Is(err, mstsearch.ErrSnapshotCRC) || errors.Is(err, mstsearch.ErrSnapshotVersion) ||
-		errors.Is(err, mstsearch.ErrSnapshotKind) || errors.Is(err, index.ErrCorruptNode) ||
-		errors.Is(err, storage.ErrBadDiskFile):
+		errors.Is(err, mstsearch.ErrSnapshotKind) || errors.Is(err, mstsearch.ErrUnknownIndexKind) ||
+		errors.Is(err, index.ErrCorruptNode) || errors.Is(err, storage.ErrBadDiskFile):
 		// Durable-state damage discovered on open, replay or traversal:
 		// like a checksum failure, nothing a client retry can fix.
 		return http.StatusInternalServerError, ErrorBody{

@@ -344,6 +344,16 @@ func toTrajectory(tj TrajectoryJSON) (mstsearch.Trajectory, error) {
 	return tr, nil
 }
 
+// parseMetric resolves a wire metric name ("" = DISSIM) to the engine's
+// typed selector, mapping unknown names to a 400.
+func parseMetric(name string) (mstsearch.Metric, error) {
+	m, err := mstsearch.ParseMetric(name)
+	if err != nil {
+		return 0, badRequestf("unknown metric %q (want dissim, dtw, lcss, or edr)", name)
+	}
+	return m, nil
+}
+
 // --- route handlers -----------------------------------------------------
 
 // handleQuery answers one k-MST query, through the coalescer when it is
@@ -360,6 +370,10 @@ func (s *Server) handleQuery(_ context.Context, tenant string, r *http.Request) 
 	if err != nil {
 		return 0, nil, err
 	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		return 0, nil, err
+	}
 	ctx, cancel := s.deadlineCtx(r.Context(), req.DeadlineMS)
 	defer cancel()
 
@@ -370,7 +384,8 @@ func (s *Server) handleQuery(_ context.Context, tenant string, r *http.Request) 
 	)
 	if s.coal != nil {
 		res, err := s.coal.do(ctx, mstsearch.BatchQuery{
-			Q: &q, T1: req.T1, T2: req.T2, K: req.K, Opts: &opts,
+			Q: &q, T1: req.T1, T2: req.T2, K: req.K,
+			Metric: metric, MetricEps: req.MetricEps, Opts: &opts,
 		})
 		if err == nil {
 			err = res.Err
@@ -381,7 +396,8 @@ func (s *Server) handleQuery(_ context.Context, tenant string, r *http.Request) 
 		results, stats = res.Results, res.Stats
 	} else {
 		resp, err := s.db.Query(ctx, mstsearch.Request{
-			Q: &q, Interval: mstsearch.Interval{T1: req.T1, T2: req.T2}, K: req.K, Options: opts,
+			Q: &q, Interval: mstsearch.Interval{T1: req.T1, T2: req.T2}, K: req.K,
+			Metric: metric, MetricEps: req.MetricEps, Options: opts,
 		})
 		if err != nil {
 			return 0, nil, err
@@ -440,7 +456,14 @@ func (s *Server) handleBatch(_ context.Context, tenant string, r *http.Request) 
 		if err != nil {
 			return 0, nil, err
 		}
-		queries[i] = mstsearch.BatchQuery{Q: &q, T1: qr.T1, T2: qr.T2, K: qr.K}
+		metric, err := parseMetric(qr.Metric)
+		if err != nil {
+			return 0, nil, err
+		}
+		queries[i] = mstsearch.BatchQuery{
+			Q: &q, T1: qr.T1, T2: qr.T2, K: qr.K,
+			Metric: metric, MetricEps: qr.MetricEps,
+		}
 		if qr.DeadlineMS > 0 {
 			slotCtx, slotCancel := s.deadlineCtx(r.Context(), qr.DeadlineMS)
 			cancels = append(cancels, slotCancel)
@@ -599,10 +622,15 @@ func (s *Server) handleExplain(_ context.Context, tenant string, r *http.Request
 	if err != nil {
 		return 0, nil, err
 	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		return 0, nil, err
+	}
 	ctx, cancel := s.deadlineCtx(r.Context(), req.DeadlineMS)
 	defer cancel()
 	rep, err := s.db.Explain(ctx, mstsearch.Request{
 		Q: &q, Interval: mstsearch.Interval{T1: req.T1, T2: req.T2}, K: req.K,
+		Metric: metric, MetricEps: req.MetricEps,
 		Options: s.optionsFor(tenant),
 	})
 	if err != nil {

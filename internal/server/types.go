@@ -19,6 +19,11 @@ type QueryRequest struct {
 	T1    float64        `json:"t1"`
 	T2    float64        `json:"t2"`
 	K     int            `json:"k"`
+	// Metric selects the distance function: "" or "dissim" (the default),
+	// or "dtw"/"lcss"/"edr" on a metric index kind. MetricEps is the
+	// match threshold the LCSS and EDR metrics need.
+	Metric    string  `json:"metric,omitempty"`
+	MetricEps float64 `json:"metric_eps,omitempty"`
 	// DeadlineMS bounds the request's lifetime in milliseconds (0 = the
 	// server default; clamped to the server maximum).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`

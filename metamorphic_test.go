@@ -17,7 +17,7 @@ import (
 // how many are requested beyond them.
 func TestMetamorphicKPrefix(t *testing.T) {
 	trajs := gstd.Generate(gstd.Config{NumObjects: 40, SamplesPerObject: 81, Seed: 11}).Trajs
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			db, err := NewDB(kind, trajs)
 			if err != nil {
@@ -59,7 +59,7 @@ func TestMetamorphicDuplicate(t *testing.T) {
 	dup.ID = ID(len(trajs) + 100)
 	withDup := append(append([]Trajectory{}, trajs...), dup)
 
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			db, err := NewDB(kind, withDup)
 			if err != nil {
@@ -109,7 +109,7 @@ func TestMetamorphicDuplicate(t *testing.T) {
 // index for every result surviving in both answers.
 func TestMetamorphicWindowShrink(t *testing.T) {
 	trajs := gstd.Generate(gstd.Config{NumObjects: 35, SamplesPerObject: 81, Seed: 41}).Trajs
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			db, err := NewDB(kind, trajs)
 			if err != nil {

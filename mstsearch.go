@@ -32,11 +32,8 @@ import (
 	"mstsearch/internal/geom"
 	"mstsearch/internal/index"
 	"mstsearch/internal/mst"
-	"mstsearch/internal/rtree"
 	"mstsearch/internal/selectivity"
 	"mstsearch/internal/storage"
-	"mstsearch/internal/strtree"
-	"mstsearch/internal/tbtree"
 	"mstsearch/internal/tdtr"
 	"mstsearch/internal/trajectory"
 	"mstsearch/internal/wal"
@@ -52,33 +49,6 @@ type (
 	// ID identifies a trajectory.
 	ID = trajectory.ID
 )
-
-// IndexKind selects the R-tree-like structure backing a DB.
-type IndexKind int
-
-// The R-tree-family structures of the paper's §4.5. All three answer the
-// same queries: the 3D R-tree discriminates purely spatially (fastest
-// short queries), the TB-tree bundles each trajectory's segments into
-// dedicated leaves (smallest index, best I/O on long queries), and the
-// STR-tree sits between the two, clustering trajectory runs inside a
-// spatially organized tree.
-const (
-	RTree3D IndexKind = iota
-	TBTree
-	STRTree
-)
-
-// String names the structure.
-func (k IndexKind) String() string {
-	switch k {
-	case TBTree:
-		return "TB-tree"
-	case STRTree:
-		return "STR-tree"
-	default:
-		return "3D R-tree"
-	}
-}
 
 // Result is one k-MST answer, most similar first.
 type Result struct {
@@ -196,6 +166,40 @@ const (
 	EventShardPrune        = mst.EventShardPrune
 )
 
+// Metric selects the distance function of a k-nearest query (the
+// Request.Metric field). The zero value is the paper's DISSIM, so
+// existing Request literals keep their meaning; the other metrics are the
+// baseline distances of the experimental study, served exactly by the
+// metric (N-tree) index kind and rejected as ErrBadQuery by the MBB
+// kinds, whose geometry cannot bound them.
+type Metric = mst.Metric
+
+// The metric taxonomy. MetricLCSS and MetricEDR require a positive
+// Request.MetricEps matching tolerance.
+const (
+	MetricDISSIM = mst.MetricDISSIM
+	MetricDTW    = mst.MetricDTW
+	MetricLCSS   = mst.MetricLCSS
+	MetricEDR    = mst.MetricEDR
+)
+
+// ErrUnknownMetric reports a metric name ParseMetric does not recognize.
+var ErrUnknownMetric = mst.ErrUnknownMetric
+
+// ParseMetric resolves a metric name (case-insensitively) to its Metric —
+// the inverse of Metric.String. The empty string is MetricDISSIM,
+// mirroring the Request field's zero value.
+func ParseMetric(s string) (Metric, error) { return mst.ParseMetric(s) }
+
+// MetricDistance evaluates metric m between two trajectories over
+// [t1, t2] — the reference every index-backed metric query is
+// bit-identical to. ok is false when either trajectory does not cover the
+// period. eps is the per-axis matching tolerance of MetricLCSS/MetricEDR
+// (ignored by the others).
+func MetricDistance(m Metric, eps float64, q, tr *Trajectory, t1, t2 float64) (float64, bool) {
+	return mst.EvalMetric(m, eps, q, tr, t1, t2)
+}
+
 // DB is a trajectory database: an in-memory trajectory store plus a paged
 // spatiotemporal index (4 KB pages) queried through an LRU buffer pool
 // sized by the paper's policy (10 % of the index, ≤1000 pages).
@@ -212,9 +216,7 @@ type DB struct {
 	mu    sync.RWMutex // lockrank: 10 — queries take read side; mutations take write side
 	kind  IndexKind
 	file  *storage.File
-	rt    *rtree.Tree
-	tb    *tbtree.Tree
-	st    *strtree.Tree
+	eng   indexEngine
 	trajs []Trajectory
 	byID  map[ID]int
 	vmax  float64
@@ -306,16 +308,13 @@ type statsPager interface {
 }
 
 // Open creates an empty database backed by the chosen index structure.
+// Unregistered kinds fall back to the 3D R-tree, the historical default.
 func Open(kind IndexKind) *DB {
-	db := &DB{kind: kind, file: storage.NewFile(storage.DefaultPageSize), byID: map[ID]int{}}
-	switch kind {
-	case TBTree:
-		db.tb = tbtree.New(db.file)
-	case STRTree:
-		db.st = strtree.New(db.file)
-	default:
-		db.rt = rtree.New(db.file)
+	if !kind.Valid() {
+		kind = RTree3D
 	}
+	db := &DB{kind: kind, file: storage.NewFile(storage.DefaultPageSize), byID: map[ID]int{}}
+	db.eng = db.newEngine(kind, db.file)
 	return db
 }
 
@@ -358,28 +357,18 @@ func (db *DB) Add(tr Trajectory) error {
 }
 
 // applyAddLocked indexes a pre-validated, non-duplicate trajectory —
-// the journal-free half of Add, shared with WAL replay. Callers must
-// hold db.mu (write side).
+// the journal-free half of Add, shared with WAL replay. The trajectory
+// enters the store before the engine indexes it (a metric engine resolves
+// member geometry through the store during insertion) and is rolled back
+// if indexing fails. Callers must hold db.mu (write side).
 func (db *DB) applyAddLocked(tr Trajectory) error {
-	switch db.kind {
-	case TBTree:
-		if err := db.tb.InsertTrajectory(&tr); err != nil {
-			return err
-		}
-	case STRTree:
-		if err := db.st.InsertTrajectory(&tr); err != nil {
-			return err
-		}
-	default:
-		for s := 0; s < tr.NumSegments(); s++ {
-			e := index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}
-			if err := db.rt.Insert(e); err != nil {
-				return err
-			}
-		}
-	}
 	db.byID[tr.ID] = len(db.trajs)
 	db.trajs = append(db.trajs, tr)
+	if err := db.eng.insertTrajectory(&db.trajs[len(db.trajs)-1]); err != nil {
+		delete(db.byID, tr.ID)
+		db.trajs = db.trajs[:len(db.trajs)-1]
+		return err
+	}
 	db.vmax = math.Max(db.vmax, tr.MaxSpeed())
 	db.invalidate()
 	return nil
@@ -438,7 +427,10 @@ func (db *DB) AppendSample(id ID, s Sample) error {
 
 // applyAppendLocked indexes one pre-validated sample onto the trajectory
 // at store index i — the journal-free half of AppendSample, shared with
-// WAL replay. Callers must hold db.mu (write side).
+// WAL replay. The sample enters the store first so an engine that cannot
+// append incrementally (errRebuildRequired) can rebuild from the updated
+// store; any failure rolls the sample back. Callers must hold db.mu
+// (write side).
 func (db *DB) applyAppendLocked(i int, s Sample) error {
 	tr := &db.trajs[i]
 	last := tr.Samples[len(tr.Samples)-1]
@@ -450,19 +442,15 @@ func (db *DB) applyAppendLocked(i int, s Sample) error {
 			B: geom.STPoint{X: s.X, Y: s.Y, T: s.T},
 		},
 	}
-	var err error
-	switch db.kind {
-	case TBTree:
-		err = db.tb.Insert(e)
-	case STRTree:
-		err = db.st.Insert(e)
-	default:
-		err = db.rt.Insert(e)
+	tr.Samples = append(tr.Samples, s)
+	err := db.eng.appendSegment(e, tr)
+	if errors.Is(err, errRebuildRequired) {
+		err = db.recoverLocked()
 	}
 	if err != nil {
+		tr.Samples = tr.Samples[:len(tr.Samples)-1]
 		return err
 	}
-	tr.Samples = append(tr.Samples, s)
 	db.vmax = math.Max(db.vmax, e.Seg.Speed())
 	db.invalidate()
 	return nil
@@ -490,41 +478,14 @@ func (db *DB) Recover() error {
 // log). Callers must hold db.mu (write side).
 func (db *DB) recoverLocked() error {
 	file := storage.NewFile(db.file.PageSize())
-	var (
-		rt *rtree.Tree
-		tb *tbtree.Tree
-		st *strtree.Tree
-	)
-	switch db.kind {
-	case TBTree:
-		tb = tbtree.New(file)
-	case STRTree:
-		st = strtree.New(file)
-	default:
-		rt = rtree.New(file)
-	}
+	eng := db.newEngine(db.kind, file)
 	for i := range db.trajs {
-		tr := &db.trajs[i]
-		var err error
-		switch db.kind {
-		case TBTree:
-			err = tb.InsertTrajectory(tr)
-		case STRTree:
-			err = st.InsertTrajectory(tr)
-		default:
-			for s := 0; s < tr.NumSegments(); s++ {
-				e := index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}
-				if err = rt.Insert(e); err != nil {
-					break
-				}
-			}
-		}
-		if err != nil {
+		if err := eng.insertTrajectory(&db.trajs[i]); err != nil {
 			return fmt.Errorf("mstsearch: recover: %w", err)
 		}
 	}
 	db.file = file
-	db.rt, db.tb, db.st = rt, tb, st
+	db.eng = eng
 	db.invalidate()
 	return nil
 }
@@ -636,10 +597,12 @@ func (db *DB) EnableWarmBuffer() {
 
 // view builds a buffered read view of the index: the shared warm pool when
 // enabled, otherwise a fresh per-query pool (wrapped by the fault-
-// injection seam when installed). Callers must hold db.mu.
-func (db *DB) view() (index.Tree, statsPager) {
+// injection seam when installed). Callers must hold db.mu and type-switch
+// the view to the capability they need (index.Tree for segment-level
+// queries, index.MetricTree for metric kNN).
+func (db *DB) view() (index.Index, statsPager) {
 	bp := db.queryPager()
-	return db.treeOn(bp), bp
+	return db.indexOn(bp), bp
 }
 
 // queryPager picks the pager a query reads through: the shared warm pool
@@ -662,17 +625,10 @@ func (db *DB) wrappedFile() storage.Pager {
 	return base
 }
 
-// treeOn opens the index structure over the given pager. Callers must
-// hold db.mu.
-func (db *DB) treeOn(bp storage.Pager) index.Tree {
-	switch db.kind {
-	case TBTree:
-		return tbtree.Open(bp, db.tb.Meta())
-	case STRTree:
-		return strtree.Open(bp, db.st.Meta())
-	default:
-		return rtree.Open(bp, db.rt.Meta())
-	}
+// indexOn opens a read view of the index structure over the given pager.
+// Callers must hold db.mu.
+func (db *DB) indexOn(bp storage.Pager) index.Index {
+	return db.eng.view(bp)
 }
 
 // KMostSimilar runs a k-MST query: the k stored trajectories with the
@@ -717,15 +673,19 @@ func (db *DB) KMostSimilarOptsContext(ctx context.Context, q *Trajectory, t1, t2
 	return r.Results, r.Stats, err
 }
 
-// kMostSimilarOn runs one k-MST query through the given pager — the
-// common core of the single-query entry points (fresh or warm pool) and
-// the batch executor (pool shared across workers). Callers must hold
-// db.mu (read side). With a shared pool, the I/O fields of SearchStats
-// are counter deltas attributed best-effort: concurrent queries interleave
-// on the same counters, so per-query PageReads/BufferHits are approximate
-// while the pool-level totals stay exact.
-func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, t1, t2 float64, k int, o Options) ([]Result, SearchStats, error) {
-	tree := db.treeOn(bp)
+// kMostSimilarOn runs one k-MST / metric-kNN query through the given
+// pager — the common core of the single-query entry points (fresh or warm
+// pool) and the batch executor (pool shared across workers). Callers must
+// hold db.mu (read side). With a shared pool, the I/O fields of
+// SearchStats are counter deltas attributed best-effort: concurrent
+// queries interleave on the same counters, so per-query
+// PageReads/BufferHits are approximate while the pool-level totals stay
+// exact.
+func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, t1, t2 float64, k int, m Metric, eps float64, o Options) ([]Result, SearchStats, error) {
+	if q == nil {
+		return nil, SearchStats{}, fmt.Errorf("%w: nil query trajectory", ErrBadQuery)
+	}
+	view := db.indexOn(bp)
 	before := bp.Stats() // per-query I/O = counter delta (fresh pools start at zero)
 	opts := mst.Options{
 		K:                 k,
@@ -742,14 +702,38 @@ func (db *DB) kMostSimilarOn(ctx context.Context, bp statsPager, q *Trajectory, 
 	if o.MaxIOReads > 0 {
 		opts.IOReads = func() uint64 { return bp.Stats().Misses - before.Misses }
 	}
-	if o.ExactRefine {
-		ds, err := db.dataset()
-		if err != nil {
-			return nil, SearchStats{}, err
+	var (
+		res []mst.Result
+		st  mst.Stats
+		err error
+	)
+	switch tree := view.(type) {
+	case index.MetricTree:
+		// A metric tree stores no geometry: candidates and pivots resolve
+		// through the dataset, and every result is evaluated exactly, so
+		// the search needs Data regardless of o.ExactRefine.
+		ds, derr := db.dataset()
+		if derr != nil {
+			return nil, SearchStats{}, derr
 		}
 		opts.Data = ds
+		res, st, err = mst.MetricSearchContext(ctx, tree, q, t1, t2, m, eps, opts)
+	case index.Tree:
+		if m != MetricDISSIM {
+			return nil, SearchStats{}, fmt.Errorf("%w: metric %s is not supported by the %s index (use an %s database)",
+				ErrBadQuery, m, db.kind, NTree)
+		}
+		if o.ExactRefine {
+			ds, derr := db.dataset()
+			if derr != nil {
+				return nil, SearchStats{}, derr
+			}
+			opts.Data = ds
+		}
+		res, st, err = mst.SearchContext(ctx, tree, q, t1, t2, opts)
+	default:
+		return nil, SearchStats{}, fmt.Errorf("mstsearch: index kind %s exposes no searchable view", db.kind)
 	}
-	res, st, err := mst.SearchContext(ctx, tree, q, t1, t2, opts)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}

@@ -24,7 +24,7 @@ func fleet(rng *rand.Rand, n, samples int) []Trajectory {
 func TestDBRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	trajs := fleet(rng, 30, 40)
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -61,7 +61,7 @@ func TestDBRejectsBadInput(t *testing.T) {
 func TestKMostSimilarFindsPlantedTwin(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	trajs := fleet(rng, 40, 50)
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)
@@ -205,7 +205,7 @@ func TestSearchOptionsAblation(t *testing.T) {
 func TestAppendSample(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	trajs := fleet(rng, 10, 20)
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)

@@ -86,7 +86,7 @@ func checkBitIdentical(t *testing.T, label string, iter int, serial, parallel []
 }
 
 // TestDifferentialOracle is the PR's central correctness gate: randomized
-// GSTD fleets × all three index kinds × {serial, Parallelism=4,
+// GSTD fleets × every index kind × {serial, Parallelism=4,
 // batch(Parallelism=4)} — every answer checked against the brute-force
 // oracle, and every parallel answer checked bit-identical to its serial
 // twin. Over 1000 index query executions run per full pass.
@@ -103,7 +103,7 @@ func TestDifferentialOracle(t *testing.T) {
 	executions := 0
 	for _, fl := range fleets {
 		trajs := gstd.Generate(fl.cfg).Trajs
-		for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+		for _, kind := range IndexKinds() {
 			label := fl.name + "/" + kind.String()
 			t.Run(label, func(t *testing.T) {
 				db, err := NewDB(kind, trajs)
@@ -181,7 +181,7 @@ func TestDifferentialOracle(t *testing.T) {
 // DISSIM ≈ 0.
 func TestOracleSelfQuery(t *testing.T) {
 	trajs := gstd.Generate(gstd.Config{NumObjects: 25, SamplesPerObject: 61, Seed: 9}).Trajs
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)

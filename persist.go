@@ -11,10 +11,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"mstsearch/internal/rtree"
 	"mstsearch/internal/storage"
-	"mstsearch/internal/strtree"
-	"mstsearch/internal/tbtree"
 	"mstsearch/internal/wal"
 )
 
@@ -192,20 +189,8 @@ func WriteFileAtomic(path string, data []byte) (err error) {
 }
 
 // indexMeta returns the active tree's root metadata in a common shape.
-// Callers must hold db.mu (either side): it reads db.kind and the tree
-// handles.
-func (db *DB) indexMeta() rtree.Meta {
-	switch db.kind {
-	case TBTree:
-		m := db.tb.Meta()
-		return rtree.Meta{Root: m.Root, Height: m.Height, Nodes: m.Nodes}
-	case STRTree:
-		m := db.st.Meta()
-		return rtree.Meta{Root: m.Root, Height: m.Height, Nodes: m.Nodes}
-	default:
-		return db.rt.Meta()
-	}
-}
+// Callers must hold db.mu (either side): it reads the engine's handles.
+func (db *DB) indexMeta() treeMeta { return db.eng.meta() }
 
 // Load reads a database snapshot written by Save. The returned DB serves
 // queries; further Adds go to the same in-memory page file.
@@ -251,8 +236,8 @@ func Load(path string) (*DB, error) {
 	if version != snapshotVersion {
 		return nil, fmt.Errorf("%w: %d", ErrSnapshotVersion, version)
 	}
-	if kind > uint8(STRTree) {
-		return nil, fmt.Errorf("%w: unknown index kind %d", ErrBadSnapshot, kind)
+	if !IndexKind(kind).Valid() {
+		return nil, fmt.Errorf("%w: %w %d", ErrBadSnapshot, ErrUnknownIndexKind, kind)
 	}
 	if pageSize == 0 || pageSize > 1<<20 {
 		return nil, fmt.Errorf("%w: page size %d", ErrBadSnapshot, pageSize)
@@ -320,18 +305,13 @@ func Load(path string) (*DB, error) {
 	}
 
 	// Rebind the tree to the restored pages. A loaded 3D R-tree remains
-	// writable (its insert needs no build-time state); loaded TB-trees and
-	// STR-trees are read-only — their per-trajectory tail tables are
-	// build-time state — so Add on those returns the tree's ErrReadOnly.
-	meta := rtree.Meta{Root: storage.PageID(root), Height: int(height), Nodes: int(nodes)}
-	switch db.kind {
-	case TBTree:
-		db.tb = tbtree.Open(db.file, tbtree.Meta{Root: meta.Root, Height: meta.Height, Nodes: meta.Nodes})
-	case STRTree:
-		db.st = strtree.Open(db.file, strtree.Meta{Root: meta.Root, Height: meta.Height, Nodes: meta.Nodes})
-	default:
-		db.rt = rtree.Open(db.file, meta)
-	}
+	// writable (its insert needs no build-time state); the other kinds
+	// reopen read-only — their build-time state (per-trajectory tail
+	// tables, pivot assignments) is not in the snapshot — so mutations on
+	// those return the structure's ErrReadOnly until a Recover rebuilds.
+	db.eng = db.openEngine(db.kind, db.file, treeMeta{
+		Root: storage.PageID(root), Height: int(height), Nodes: int(nodes),
+	})
 	if db.vmax == 0 {
 		for i := range db.trajs {
 			db.vmax = math.Max(db.vmax, db.trajs[i].MaxSpeed())

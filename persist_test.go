@@ -14,7 +14,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	trajs := fleet(rng, 20, 40)
 	dir := t.TempDir()
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)

@@ -234,7 +234,7 @@ func TestTopologyQuery(t *testing.T) {
 		mk(4, [3]float64{0, 0, 0}, [3]float64{5, 5, 10}),     // disjoint
 		mk(5, [3]float64{15, 15, 0}, [3]float64{40, 15, 10}), // leave
 	}
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		db, err := NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)

@@ -98,6 +98,16 @@ type Request struct {
 	Interval Interval
 	// K is how many answers to return.
 	K int
+	// Metric selects the distance function. The zero value is the paper's
+	// DISSIM — every index kind serves it; the baseline metrics
+	// (DTW/LCSS/EDR) need distance-based pruning and are served exactly by
+	// the metric (NTree) kind only. A metric the backing kind cannot serve
+	// is rejected as an error wrapping ErrBadQuery.
+	Metric Metric
+	// MetricEps is the per-axis matching tolerance MetricLCSS and
+	// MetricEDR require (must be positive for those metrics; ignored by
+	// the others).
+	MetricEps float64
 	// Options tunes the search; use DefaultOptions() as the baseline. The
 	// zero value is also valid (no exact refinement, Lemma 1 bound).
 	Options Options
@@ -151,19 +161,21 @@ func (db *DB) Query(ctx context.Context, req Request) (Response, error) {
 	o := req.Options
 	sum := wrapTrace(&o)
 	db.mu.RLock()
-	results, stats, err := db.kMostSimilarOn(ctx, db.queryPager(), req.Q, req.Interval.T1, req.Interval.T2, req.K, o)
+	results, stats, err := db.kMostSimilarOn(ctx, db.queryPager(), req.Q, req.Interval.T1, req.Interval.T2, req.K, req.Metric, req.MetricEps, o)
 	db.mu.RUnlock()
 	db.finishQuery("kmst", metKMST, start, req, stats, err)
 	return Response{Results: results, Stats: stats, Trace: sum}, err
 }
 
-// QueryLowerBound returns a certified lower bound on the DISSIM between
+// QueryLowerBound returns a certified lower bound on req.Metric between
 // req.Q and EVERY stored trajectory over req.Interval, from a single
-// root-page read: MINDIST(q, root MBB) · duration, the speed-independent
-// OPTDISSIM bound applied to the index root. +Inf means the database
-// provably holds no trajectory covering the period. A scatter-gather
-// coordinator (internal/shard) calls this per shard to prune shards whose
-// bound already exceeds the global k-th pessimistic bound; req.K and
+// root-page read — for the default DISSIM, MINDIST(q, root MBB) ·
+// duration, the speed-independent OPTDISSIM bound applied to the index
+// root; for the baseline metrics on a metric index, the corresponding
+// root-aggregate bound. +Inf means the database provably holds no
+// trajectory covering the period. A scatter-gather coordinator
+// (internal/shard) calls this per shard to prune shards whose bound
+// already exceeds the global k-th pessimistic bound; req.K and
 // req.Options are ignored.
 func (db *DB) QueryLowerBound(ctx context.Context, req Request) (float64, error) {
 	if err := index.Canceled(ctx); err != nil {
@@ -171,7 +183,18 @@ func (db *DB) QueryLowerBound(ctx context.Context, req Request) (float64, error)
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return mst.LowerBound(db.treeOn(db.queryPager()), req.Q, req.Interval.T1, req.Interval.T2)
+	switch tree := db.indexOn(db.queryPager()).(type) {
+	case index.MetricTree:
+		return mst.MetricLowerBound(tree, req.Q, req.Interval.T1, req.Interval.T2, req.Metric, req.MetricEps)
+	case index.Tree:
+		if req.Metric != MetricDISSIM {
+			return 0, fmt.Errorf("%w: metric %s is not supported by the %s index (use an %s database)",
+				ErrBadQuery, req.Metric, db.kind, NTree)
+		}
+		return mst.LowerBound(tree, req.Q, req.Interval.T1, req.Interval.T2)
+	default:
+		return 0, fmt.Errorf("mstsearch: index kind %s exposes no searchable view", db.kind)
+	}
 }
 
 // QueryAuto answers the request through whichever execution plan the
@@ -203,8 +226,10 @@ func (db *DB) queryAutoLocked(ctx context.Context, req Request, o Options) (Resp
 	if err != nil {
 		return Response{}, false, err
 	}
-	if est.ExpectedSegments < 0.5*float64(db.numSegments()) {
-		results, stats, err := db.kMostSimilarOn(ctx, db.queryPager(), req.Q, req.Interval.T1, req.Interval.T2, req.K, o)
+	// The linear-scan plan evaluates DISSIM only; a baseline-metric query
+	// always runs through the index (which validates kind support).
+	if req.Metric != MetricDISSIM || est.ExpectedSegments < 0.5*float64(db.numSegments()) {
+		results, stats, err := db.kMostSimilarOn(ctx, db.queryPager(), req.Q, req.Interval.T1, req.Interval.T2, req.K, req.Metric, req.MetricEps, o)
 		return Response{Results: results, Stats: stats}, true, err
 	}
 	ds, err := db.dataset()
@@ -238,8 +263,7 @@ func (db *DB) rangeLocked(ctx context.Context, w Window, iv Interval) ([]Segment
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	entries, err := index.RangeSearchContext(ctx, tree, w.MBB(iv))
+	entries, err := db.segmentsInBox(ctx, w.MBB(iv))
 	if err != nil {
 		return nil, err
 	}
@@ -267,14 +291,90 @@ func (db *DB) Nearest(ctx context.Context, x, y, t float64, k int) ([]Neighbor, 
 func (db *DB) nearestLocked(ctx context.Context, x, y, t float64, k int) ([]Neighbor, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	res, err := index.NearestAtContext(ctx, tree, geom.Point{X: x, Y: y}, t, k)
+	p := geom.Point{X: x, Y: y}
+	var (
+		res []index.NNResult
+		err error
+	)
+	view, _ := db.view()
+	if tree, ok := view.(index.Tree); ok {
+		res, err = index.NearestAtContext(ctx, tree, p, t, k)
+	} else {
+		res, err = db.scanNearest(ctx, p, t, k)
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Neighbor, len(res))
 	for i, r := range res {
 		out[i] = Neighbor{TrajID: r.TrajID, Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// scanNearest answers the historical point-NN query from the store — the
+// fallback for index kinds whose pages hold no segment geometry (the
+// metric N-tree). The semantics mirror index.NearestAtContext exactly:
+// each object is reported once at its interpolated position's distance,
+// results ordered by (distance, id). Callers must hold db.mu (either
+// side): it scans the trajectory store.
+func (db *DB) scanNearest(ctx context.Context, p geom.Point, t float64, k int) ([]index.NNResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	best := map[ID]float64{}
+	for i := range db.trajs {
+		if err := index.Canceled(ctx); err != nil {
+			return nil, err
+		}
+		tr := &db.trajs[i]
+		for s := 0; s < tr.NumSegments(); s++ {
+			seg := tr.Segment(s)
+			if t < seg.A.T || t > seg.B.T {
+				continue
+			}
+			d := seg.At(t).Spatial().Dist(p)
+			if cur, ok := best[tr.ID]; !ok || d < cur {
+				best[tr.ID] = d
+			}
+		}
+	}
+	out := make([]index.NNResult, 0, len(best))
+	for id, d := range best {
+		out = append(out, index.NNResult{TrajID: id, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].TrajID < out[j].TrajID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// segmentsInBox returns every stored segment whose bound intersects box:
+// through the index for segment-carrying kinds, by store scan for the
+// metric kind. Callers must hold db.mu.
+func (db *DB) segmentsInBox(ctx context.Context, box MBB) ([]index.LeafEntry, error) {
+	view, _ := db.view()
+	if tree, ok := view.(index.Tree); ok {
+		return index.RangeSearchContext(ctx, tree, box)
+	}
+	var out []index.LeafEntry
+	for i := range db.trajs {
+		if err := index.Canceled(ctx); err != nil {
+			return nil, err
+		}
+		tr := &db.trajs[i]
+		for s := 0; s < tr.NumSegments(); s++ {
+			e := index.LeafEntry{TrajID: tr.ID, SeqNo: uint32(s), Seg: tr.Segment(s)}
+			if e.MBB().Intersects(box) {
+				out = append(out, e)
+			}
+		}
 	}
 	return out, nil
 }
@@ -298,8 +398,7 @@ func (db *DB) topologyLocked(ctx context.Context, w Window, iv Interval) ([]Topo
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	tree, _ := db.view()
-	entries, err := index.RangeSearchContext(ctx, tree, w.MBB(iv))
+	entries, err := db.segmentsInBox(ctx, w.MBB(iv))
 	if err != nil {
 		return nil, err
 	}

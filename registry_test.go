@@ -1,0 +1,53 @@
+package mstsearch
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestIndexKindRegistryRoundTrip pins the registry contract every layer
+// relies on: String and ParseIndexKind are inverses, every alias
+// resolves, and unknown spellings or numeric values produce the one
+// typed error.
+func TestIndexKindRegistryRoundTrip(t *testing.T) {
+	kinds := IndexKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("registry lists %d kinds, want 4", len(kinds))
+	}
+	for _, k := range kinds {
+		if !k.Valid() {
+			t.Fatalf("%s: Valid() = false for a registered kind", k)
+		}
+		got, err := ParseIndexKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseIndexKind(%q) = %v, %v, want %v", k.String(), got, err, k)
+		}
+	}
+	for in, want := range map[string]IndexKind{
+		"rtree": RTree3D, "r": RTree3D, "3d": RTree3D,
+		"tb": TBTree, "tbtree": TBTree, "TB-Tree": TBTree,
+		"str": STRTree, "strtree": STRTree, "str-tree": STRTree,
+		"ntree": NTree, "n": NTree, "metric": NTree, " N-Tree ": NTree,
+	} {
+		got, err := ParseIndexKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseIndexKind(%q) = %v, %v, want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "quadtree", "rtre", "5"} {
+		if _, err := ParseIndexKind(in); !errors.Is(err, ErrUnknownIndexKind) {
+			t.Fatalf("ParseIndexKind(%q) = %v, want ErrUnknownIndexKind", in, err)
+		}
+	}
+	if IndexKind(99).Valid() {
+		t.Fatal("IndexKind(99).Valid() = true")
+	}
+	if s := IndexKind(99).String(); s != "IndexKind(99)" {
+		t.Fatalf("IndexKind(99).String() = %q", s)
+	}
+	for _, k := range kinds {
+		if got, want := k.Metric(), k == NTree; got != want {
+			t.Fatalf("%s.Metric() = %v, want %v", k, got, want)
+		}
+	}
+}

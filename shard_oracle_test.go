@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	mstsearch "mstsearch"
@@ -66,13 +67,13 @@ func checkShardOracle(t *testing.T, label string, iter int, res []mstsearch.Resu
 
 // TestShardedDifferentialOracle replays the oracle workload through
 // clusters of every shard count N ∈ {1, 2, 4, 7} × both placement
-// policies × all three index kinds, checking each answer against the
+// policies × every index kind, checking each answer against the
 // brute-force oracle and bit-identical against a single DB holding the
 // whole fleet.
 func TestShardedDifferentialOracle(t *testing.T) {
 	trajs := gstd.Generate(gstd.Config{NumObjects: 36, SamplesPerObject: 81, Seed: 3}).Trajs
 	const queriesPerCombo = 10
-	for _, kind := range []mstsearch.IndexKind{mstsearch.RTree3D, mstsearch.TBTree, mstsearch.STRTree} {
+	for _, kind := range mstsearch.IndexKinds() {
 		single, err := mstsearch.NewDB(kind, trajs)
 		if err != nil {
 			t.Fatal(err)
@@ -286,5 +287,93 @@ func TestShardedAppendParity(t *testing.T) {
 	}
 	if single.NumSegments() != c.NumSegments() {
 		t.Fatalf("segment counts diverged: single %d, cluster %d", single.NumSegments(), c.NumSegments())
+	}
+}
+
+// TestShardedMetricOracle replays an exact-DTW kNN workload through
+// N-tree clusters of every shard count × both placements: each gathered
+// answer must be bit-identical to the same Request on a single DB and
+// must match a brute-force scan of MetricDistance over the raw fleet —
+// the sharded leg of the metric differential oracle. Because the answer
+// is checked against the same single-DB reference under every shape,
+// this doubles as the metric resharding-invariance proof.
+func TestShardedMetricOracle(t *testing.T) {
+	trajs := gstd.Generate(gstd.Config{NumObjects: 30, SamplesPerObject: 61, Seed: 8}).Trajs
+	single, err := mstsearch.NewDB(mstsearch.NTree, trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	type work struct {
+		q      *mstsearch.Trajectory
+		t1, t2 float64
+		k      int
+	}
+	const queries = 8
+	workload := make([]work, queries)
+	for i := range workload {
+		var q *mstsearch.Trajectory
+		if i%3 == 0 {
+			c := trajs[rng.Intn(len(trajs))].Clone()
+			c.ID = 0
+			q = &c
+		} else {
+			q = mstsearch.OracleQueryTraj(rng, 41)
+		}
+		t1, t2 := mstsearch.OracleQueryWindow(rng)
+		workload[i] = work{q: q, t1: t1, t2: t2, k: 1 + rng.Intn(5)}
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, place := range []shard.Placement{shard.HashPlacement{}, shard.SpatialPlacement{}} {
+			t.Run(fmt.Sprintf("N%d/%s", n, place.Name()), func(t *testing.T) {
+				c := buildCluster(t, mstsearch.NTree, n, place, shard.Options{}, trajs)
+				for i, w := range workload {
+					req := mstsearch.Request{
+						Q: w.q, Interval: mstsearch.Interval{T1: w.t1, T2: w.t2}, K: w.k,
+						Metric: mstsearch.MetricDTW, Options: oracleOptions(),
+					}
+					sresp, err := single.Query(context.Background(), req)
+					if err != nil {
+						t.Fatalf("iter %d single: %v", i, err)
+					}
+					cresp, err := c.Query(context.Background(), req)
+					if err != nil {
+						t.Fatalf("iter %d cluster: %v", i, err)
+					}
+					mstsearch.CheckBitIdentical(t, "metric-cluster", i, sresp.Results, cresp.Results)
+
+					// Brute-force ground truth through the same public
+					// evaluator the engine refines with.
+					type hit struct {
+						id mstsearch.ID
+						d  float64
+					}
+					var all []hit
+					for j := range trajs {
+						if d, ok := mstsearch.MetricDistance(mstsearch.MetricDTW, 0, w.q, &trajs[j], w.t1, w.t2); ok {
+							all = append(all, hit{trajs[j].ID, d})
+						}
+					}
+					sort.Slice(all, func(a, b int) bool {
+						if all[a].d != all[b].d {
+							return all[a].d < all[b].d
+						}
+						return all[a].id < all[b].id
+					})
+					if len(all) > w.k {
+						all = all[:w.k]
+					}
+					if len(cresp.Results) != len(all) {
+						t.Fatalf("iter %d: cluster %d results, oracle %d", i, len(cresp.Results), len(all))
+					}
+					for j, r := range cresp.Results {
+						if r.TrajID != all[j].id || math.Float64bits(r.Dissim) != math.Float64bits(all[j].d) {
+							t.Fatalf("iter %d rank %d: cluster (%d, %g) vs oracle (%d, %g)",
+								i, j, r.TrajID, r.Dissim, all[j].id, all[j].d)
+						}
+					}
+				}
+			})
+		}
 	}
 }

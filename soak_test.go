@@ -14,7 +14,7 @@ func TestSoakRandomOperations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	for _, kind := range []IndexKind{RTree3D, TBTree, STRTree} {
+	for _, kind := range IndexKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(2007))
 			db := Open(kind)
