@@ -71,10 +71,25 @@ func main() {
 		coalesce   = flag.Duration("coalesce", time.Millisecond, "query coalescing window (0 = off)")
 		shards     = flag.Int("shards", 0, "serve as a cluster of N shards (0 = single store)")
 		placement  = flag.String("placement", "hash", "cluster placement policy: hash or spatial")
+		replicas   = flag.Int("replicas", 1, "replicas per shard (cluster mode; manifest wins on reopen)")
+		writeConc  = flag.String("write-concern", "all", "replicated write acknowledgement: all, quorum, or one")
+		hedgeAfter = flag.Duration("hedge-after", 0, "hedge slow replica reads after this delay (0 = off)")
+		repairIvl  = flag.Duration("repair-interval", 30*time.Second, "anti-entropy repair loop period (0 = off)")
 	)
 	flag.Parse()
 
-	db, err := openStore(*dir, *tree, *synthetic, *seed, *shards, *placement)
+	concern, err := shard.ParseWriteConcern(*writeConc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstserve:", err)
+		os.Exit(2)
+	}
+	ropts := shard.Options{
+		Replicas:       *replicas,
+		WriteConcern:   concern,
+		HedgeAfter:     *hedgeAfter,
+		RepairInterval: *repairIvl,
+	}
+	db, err := openStore(*dir, *tree, *synthetic, *seed, *shards, *placement, ropts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mstserve:", err)
 		os.Exit(1)
@@ -128,23 +143,31 @@ func main() {
 // openStore opens the durable store (or builds an in-memory synthetic
 // fleet when -synthetic is set), as a single DB or — with -shards > 0 —
 // as a sharded cluster.
-func openStore(dir, tree string, synthetic int, seed int64, shards int, placement string) (store, error) {
+func openStore(dir, tree string, synthetic int, seed int64, shards int, placement string, ropts shard.Options) (store, error) {
 	if shards > 0 {
-		return openCluster(dir, tree, synthetic, seed, shards, placement)
+		return openCluster(dir, tree, synthetic, seed, shards, placement, ropts)
+	}
+	if dir != "" && synthetic == 0 {
+		if _, _, _, _, err := shard.ReadManifest(dir); err == nil {
+			// The directory is a cluster: serve it as one even without
+			// -shards, rather than opening an empty single store beside
+			// the shard directories.
+			return openCluster(dir, tree, 0, seed, 0, placement, ropts)
+		}
 	}
 	return openDB(dir, tree, synthetic, seed)
 }
 
 // openCluster opens (or synthesizes) a sharded store. An existing cluster
-// directory's manifest wins over the flags, so reopening never needs the
-// init-time parameters repeated exactly.
-func openCluster(dir, tree string, synthetic int, seed int64, shards int, placement string) (*shard.Cluster, error) {
+// directory's manifest wins over the flags — including the replica count —
+// so reopening never needs the init-time parameters repeated exactly.
+func openCluster(dir, tree string, synthetic int, seed int64, shards int, placement string, ropts shard.Options) (*shard.Cluster, error) {
 	place, err := shard.PlacementByName(placement)
 	if err != nil {
 		return nil, err
 	}
 	if synthetic > 0 {
-		c, err := shard.New(parseKind(tree), shards, place, shard.Options{})
+		c, err := shard.New(parseKind(tree), shards, place, ropts)
 		if err != nil {
 			return nil, err
 		}
@@ -161,15 +184,16 @@ func openCluster(dir, tree string, synthetic int, seed int64, shards int, placem
 	if dir == "" {
 		return nil, fmt.Errorf("need -dir or -synthetic")
 	}
-	if kind, n, placeName, err := shard.ReadManifest(dir); err == nil {
+	if kind, n, placeName, reps, err := shard.ReadManifest(dir); err == nil {
 		// Serve what the directory holds rather than demanding the
 		// operator remember cluster-init's flags.
 		if place, err = shard.PlacementByName(placeName); err != nil {
 			return nil, err
 		}
-		return shard.Open(dir, kind, n, place, shard.Options{})
+		ropts.Replicas = reps
+		return shard.Open(dir, kind, n, place, ropts)
 	}
-	return shard.Open(dir, parseKind(tree), shards, place, shard.Options{})
+	return shard.Open(dir, parseKind(tree), shards, place, ropts)
 }
 
 // openDB opens the durable store, or builds an in-memory synthetic fleet

@@ -16,10 +16,18 @@
 // shard directories under one root, each with its own WAL and
 // checkpoints, pinned by a cluster manifest:
 //
-//	mststore cluster-init   -dir cluster/ -shards 4 [-placement hash] [-tree rtree]
+//	mststore cluster-init   -dir cluster/ -shards 4 [-replicas 2] [-placement hash] [-tree rtree]
 //	mststore cluster-ingest -dir cluster/ -data trucks.csv
 //	mststore cluster-info   -dir cluster/
 //	mststore cluster-query  -dir cluster/ -queryid 7 -k 5 [-p 0.25]
+//
+// verify is the offline scrubber: it walks every snapshot and WAL frame
+// of a store directory — or every shard/replica directory of a cluster —
+// re-checking the CRCs recovery would, and emits a JSON findings report,
+// exiting non-zero when damage is found:
+//
+//	mststore verify -dir store/
+//	mststore verify -dir cluster/
 //
 // Example:
 //
@@ -30,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,13 +73,15 @@ func main() {
 		runClusterInfo(os.Args[2:])
 	case "cluster-query":
 		runClusterQuery(os.Args[2:])
+	case "verify":
+		runVerify(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mststore <ingest|append|checkpoint|info|query|cluster-init|cluster-ingest|cluster-info|cluster-query> -dir <store> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mststore <ingest|append|checkpoint|info|query|verify|cluster-init|cluster-ingest|cluster-info|cluster-query> -dir <store> [flags]")
 	os.Exit(2)
 }
 
@@ -227,39 +238,44 @@ func runQuery(args []string) {
 	}
 }
 
-// openCluster opens an existing cluster, taking (kind, shards, placement)
-// from the manifest so the operator never has to repeat cluster-init's
-// flags on later subcommands.
+// openCluster opens an existing cluster, taking (kind, shards, placement,
+// replicas) from the manifest so the operator never has to repeat
+// cluster-init's flags on later subcommands.
 func openCluster(dir, sync string) *shard.Cluster {
-	kind, n, placeName, err := shard.ReadManifest(dir)
+	kind, n, placeName, replicas, err := shard.ReadManifest(dir)
 	if err != nil {
 		fail(fmt.Errorf("not a cluster directory (run cluster-init first): %w", err))
 	}
 	place, err := shard.PlacementByName(placeName)
 	fail(err)
 	c, err := shard.Open(dir, kind, n, place, shard.Options{
-		Durable: mstsearch.DurableOptions{Sync: parseSync(sync)},
+		Replicas: replicas,
+		Durable:  mstsearch.DurableOptions{Sync: parseSync(sync)},
 	})
 	fail(err)
 	return c
 }
 
 // runClusterInit creates an empty durable cluster: N shard directories
-// plus the manifest pinning (kind, shards, placement).
+// (each with R replica subdirectories when -replicas > 1) plus the
+// manifest pinning (kind, shards, placement, replicas).
 func runClusterInit(args []string) {
 	fs, dir, tree, sync := storeFlags("cluster-init")
 	shards := fs.Int("shards", 2, "number of shards")
+	replicas := fs.Int("replicas", 1, "replicas per shard")
 	placement := fs.String("placement", "hash", "placement policy: hash or spatial")
 	fs.Parse(args)
 	requireDir(*dir)
 	place, err := shard.PlacementByName(*placement)
 	fail(err)
 	c, err := shard.Open(*dir, parseKind(*tree), *shards, place, shard.Options{
-		Durable: mstsearch.DurableOptions{Sync: parseSync(*sync)},
+		Replicas: *replicas,
+		Durable:  mstsearch.DurableOptions{Sync: parseSync(*sync)},
 	})
 	fail(err)
 	fail(c.Close())
-	fmt.Printf("initialized cluster %s: %d shards, %s placement, %s index\n", *dir, *shards, *placement, parseKind(*tree))
+	fmt.Printf("initialized cluster %s: %d shards x %d replica(s), %s placement, %s index\n",
+		*dir, *shards, c.NumReplicas(), *placement, parseKind(*tree))
 }
 
 // runClusterIngest scatters a CSV dataset across the cluster's shards
@@ -283,12 +299,13 @@ func runClusterIngest(args []string) {
 	fmt.Printf("ingested %d trajectories into %d shards\n", len(trajs), c.NumShards())
 }
 
-// runClusterInfo prints the manifest plus each shard's share of the data.
+// runClusterInfo prints the manifest plus each shard's share of the data,
+// and — on a replicated cluster — every replica's health.
 func runClusterInfo(args []string) {
 	fs, dir, _, sync := storeFlags("cluster-info")
 	fs.Parse(args)
 	requireDir(*dir)
-	kind, n, placeName, err := shard.ReadManifest(*dir)
+	kind, n, placeName, replicas, err := shard.ReadManifest(*dir)
 	fail(err)
 	c := openCluster(*dir, *sync)
 	defer c.Close()
@@ -296,10 +313,58 @@ func runClusterInfo(args []string) {
 	fmt.Printf("index:        %s\n", kind)
 	fmt.Printf("placement:    %s\n", placeName)
 	fmt.Printf("shards:       %d\n", n)
+	fmt.Printf("replicas:     %d\n", replicas)
 	fmt.Printf("trajectories: %d (%d segments)\n", c.Len(), c.NumSegments())
 	for i := 0; i < c.NumShards(); i++ {
 		db := c.Shard(i)
 		fmt.Printf("  shard %3d:  %d trajectories, %d segments\n", i, db.Len(), db.NumSegments())
+	}
+	if replicas > 1 {
+		for _, st := range c.ReplicaStatuses() {
+			line := fmt.Sprintf("  shard %3d replica %d: %-11s %d trajectories", st.Shard, st.Replica, st.State, st.Trajectories)
+			if st.LastError != "" {
+				line += " (last error: " + st.LastError + ")"
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// runVerify scrubs a store — or every shard/replica store of a cluster —
+// offline, re-checking every snapshot and live WAL frame CRC the next
+// recovery would trust, and prints a machine-readable JSON report. Exits
+// 1 when any store is damaged.
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("mststore verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "store or cluster directory (required)")
+	fs.Parse(args)
+	requireDir(*dir)
+
+	dirs, err := shard.StoreDirs(*dir)
+	if err != nil {
+		// No cluster manifest: treat dir as a single store.
+		dirs = []string{*dir}
+	}
+	out := struct {
+		Stores  []*mstsearch.ScrubReport `json:"stores"`
+		Damaged bool                     `json:"damaged"`
+	}{}
+	for _, d := range dirs {
+		rep, err := mstsearch.ScrubStore(d)
+		if err != nil {
+			rep = &mstsearch.ScrubReport{
+				Dir:      d,
+				Findings: []mstsearch.ScrubFinding{{File: d, Problem: err.Error()}},
+			}
+		}
+		out.Damaged = out.Damaged || rep.Damaged()
+		out.Stores = append(out.Stores, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(out))
+	if out.Damaged {
+		os.Exit(1)
 	}
 }
 

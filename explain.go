@@ -143,7 +143,7 @@ func (r *ExplainReport) String() string {
 	}
 	fmt.Fprintf(&b, "trace: %d events", r.Trace.Events)
 	sep := " ("
-	for k := EventNodeEnqueue; k <= EventShardPrune; k++ {
+	for k := EventNodeEnqueue; k <= EventReplicaRepair; k++ {
 		if n := r.Trace.ByKind[k]; n > 0 {
 			fmt.Fprintf(&b, "%s%s %d", sep, k, n)
 			sep = ", "

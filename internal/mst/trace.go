@@ -56,6 +56,16 @@ const (
 	// (Threshold), or which provably holds no covering trajectory
 	// (MinDist = +Inf). Emitted by the cluster layer.
 	EventShardPrune
+	// EventReplicaFailover: a replicated shard's read handed off to a
+	// sibling replica after a replica-attributable error (Shard, Replica
+	// = the replica now serving, Count = the replica that failed).
+	// Emitted by the cluster layer.
+	EventReplicaFailover
+	// EventReplicaRepair: the anti-entropy loop re-seeded a quarantined
+	// replica from a healthy sibling and re-admitted it to the read
+	// rotation (Shard, Replica = the repaired replica, Count = the
+	// source replica). Emitted by the cluster layer.
+	EventReplicaRepair
 )
 
 // String names the event kind.
@@ -85,6 +95,10 @@ func (k EventKind) String() string {
 		return "shard-scatter"
 	case EventShardPrune:
 		return "shard-prune"
+	case EventReplicaFailover:
+		return "replica-failover"
+	case EventReplicaRepair:
+		return "replica-repair"
 	default:
 		return "unknown"
 	}
@@ -131,10 +145,14 @@ type TraceEvent struct {
 	Workers int
 
 	// Shard is the shard index on cluster-level events (EventShardScatter,
-	// EventShardPrune); MinDist then carries the shard's certified lower
-	// bound and Threshold the global k-th pessimistic bound at the
-	// decision.
+	// EventShardPrune, EventReplica*); MinDist then carries the shard's
+	// certified lower bound and Threshold the global k-th pessimistic
+	// bound at the decision.
 	Shard int
+	// Replica is the replica index on EventReplicaFailover (the replica
+	// now serving) and EventReplicaRepair (the replica re-seeded); Count
+	// then carries the other replica of the hand-off.
+	Replica int
 }
 
 // emit delivers one event to the trace hook when tracing is on. The hook

@@ -239,6 +239,14 @@ func (c *Client) decodeError(res *http.Response, apiErr *APIError) (bool, error)
 			}
 		}
 	}
+	// A 429 or 503 is retryable by definition — the status is the
+	// server (or a proxy) saying "back off and try again". Trusting
+	// only the body's verdict turned any 503 whose JSON decoded but
+	// wasn't our envelope (a load balancer's `{}`) into a permanent
+	// client-side failure.
+	if res.StatusCode == http.StatusTooManyRequests || res.StatusCode == http.StatusServiceUnavailable {
+		env.Error.Retryable = true
+	}
 	apiErr.Body = env.Error
 	return env.Error.Retryable, apiErr
 }

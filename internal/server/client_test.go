@@ -245,3 +245,35 @@ func TestErrorEnvelopeRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed envelope: %+v != %+v", out, in)
 	}
 }
+
+// Regression: a 503 whose body is not the server's envelope (a proxy or
+// load balancer answering for a down backend with `{}`) must still be
+// treated as retryable — the status code is the contract, not the body.
+// The client used to trust only the body's Retryable flag and gave up on
+// the first such 503.
+func TestClientRetriesBare503(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var hits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("{}"))
+			return
+		}
+		writeJSON(w, http.StatusOK, &QueryResponse{Results: []ResultJSON{{ID: 1}}})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	resp, err := cl.Query(context.Background(), QueryRequest{K: 1})
+	if err != nil {
+		t.Fatalf("query after bare 503s: %v", err)
+	}
+	if len(resp.Results) != 1 || hits.Load() != 3 {
+		t.Fatalf("resp %+v after %d hits, want success on the 3rd", resp, hits.Load())
+	}
+}

@@ -118,6 +118,14 @@ func envelopeFor(err error) (int, ErrorBody) {
 			Code: CodeUnavailable, Message: err.Error(), Retryable: true,
 			RetryAfterMS: 50,
 		}
+	case errors.Is(err, mstsearch.ErrUnavailable):
+		// Every replica of some shard is quarantined, or a quorum write
+		// could not gather enough acks. Anti-entropy repair re-admits
+		// replicas in the background, so a retry after a beat can win.
+		return http.StatusServiceUnavailable, ErrorBody{
+			Code: CodeUnavailable, Message: err.Error(), Retryable: true,
+			RetryAfterMS: 250,
+		}
 	case errors.Is(err, mstsearch.ErrWALCorrupt) || errors.Is(err, mstsearch.ErrBadSnapshot) ||
 		errors.Is(err, mstsearch.ErrSnapshotCRC) || errors.Is(err, mstsearch.ErrSnapshotVersion) ||
 		errors.Is(err, mstsearch.ErrSnapshotKind) || errors.Is(err, mstsearch.ErrUnknownIndexKind) ||

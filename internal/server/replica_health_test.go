@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	mstsearch "mstsearch"
+	"mstsearch/internal/gstd"
+	"mstsearch/internal/shard"
+	"mstsearch/internal/storage"
+	"mstsearch/internal/testutil"
+)
+
+// Health surface over a replicated engine: /healthz must expose the
+// per-shard/per-replica breakdown, degrade its status the moment a
+// replica leaves the rotation, report repair stamps once anti-entropy
+// re-seeds it, and keep the bare three-field contract under ?quick=1.
+
+// newReplicatedCluster builds a 2-shard, 2-replica in-memory cluster
+// over the synthetic fleet.
+func newReplicatedCluster(t testing.TB, objects int) *shard.Cluster {
+	t.Helper()
+	data := gstd.Generate(gstd.Config{NumObjects: objects, SamplesPerObject: 48, Seed: 7})
+	c, err := shard.New(mstsearch.RTree3D, 2, shard.HashPlacement{}, shard.Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	for i := range data.Trajs {
+		if err := c.Add(data.Trajs[i]); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// newHTTPServer fronts an already-built Server with an httptest
+// listener, torn down (with the cluster) at test end.
+func newHTTPServer(t testing.TB, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func getHealth(t *testing.T, url string) (int, HealthResponse) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer res.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return res.StatusCode, h
+}
+
+func TestHealthReportsReplicaBreakdown(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	c := newReplicatedCluster(t, 20)
+	srv := NewEngine(c, DefaultConfig())
+	ts := newHTTPServer(t, srv)
+
+	status, h := getHealth(t, ts.URL+"/healthz")
+	if status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy cluster: status %d body %+v", status, h)
+	}
+	if h.Shards != 2 || len(h.Replicas) != 4 {
+		t.Fatalf("breakdown = %d shards, %d replicas; want 2 and 4: %+v", h.Shards, len(h.Replicas), h)
+	}
+	total := 0
+	for _, rh := range h.Replicas {
+		if rh.State != "healthy" {
+			t.Fatalf("replica %+v not healthy at rest", rh)
+		}
+		if rh.Replica == 0 {
+			total += rh.Trajectories
+		}
+	}
+	if total != h.Trajectories {
+		t.Fatalf("replica trajectory counts sum to %d, cluster reports %d", total, h.Trajectories)
+	}
+
+	// The quick probe keeps the bare contract: no breakdown, even on a
+	// replicated engine.
+	status, quick := getHealth(t, ts.URL+"/healthz?quick=1")
+	if status != http.StatusOK || quick.Status != "ok" {
+		t.Fatalf("quick probe: status %d body %+v", status, quick)
+	}
+	if quick.Shards != 0 || quick.Replicas != nil {
+		t.Fatalf("quick probe leaked the breakdown: %+v", quick)
+	}
+}
+
+func TestHealthDegradesAndRecoversWithReplicas(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	c := newReplicatedCluster(t, 20)
+	srv := NewEngine(c, DefaultConfig())
+	ts := newHTTPServer(t, srv)
+
+	// Kill replica 0 of shard 1 and drive reads until the health state
+	// machine quarantines it.
+	c.Replica(1, 0).SetPagerWrapper(func(p mstsearch.Pager) mstsearch.Pager {
+		return &storage.FaultyPager{Inner: p, FailReadAt: 1, Permanent: true}
+	})
+	for i := 0; i < 8; i++ {
+		if _, err := c.Nearest(context.Background(), 0.5, 0.5, 0.5, 2); err != nil {
+			t.Fatalf("read %d through degraded cluster: %v", i, err)
+		}
+	}
+
+	_, h := getHealth(t, ts.URL+"/healthz")
+	if h.Status != "degraded" {
+		t.Fatalf("status %q with a quarantined replica, want degraded: %+v", h.Status, h)
+	}
+	sawQuarantine := false
+	for _, rh := range h.Replicas {
+		if rh.Shard == 1 && rh.Replica == 0 {
+			sawQuarantine = rh.State == "quarantined" && rh.LastError != ""
+		}
+	}
+	if !sawQuarantine {
+		t.Fatalf("breakdown does not show the quarantined replica: %+v", h.Replicas)
+	}
+
+	// Repair re-admits it; health recovers and carries the repair stamp.
+	if _, err := c.RepairNow(context.Background()); err != nil {
+		t.Fatalf("RepairNow: %v", err)
+	}
+	_, h = getHealth(t, ts.URL+"/healthz")
+	if h.Status != "ok" {
+		t.Fatalf("status %q after repair, want ok: %+v", h.Status, h)
+	}
+	for _, rh := range h.Replicas {
+		if rh.Shard == 1 && rh.Replica == 0 && rh.LastRepair == "" {
+			t.Fatalf("repaired replica carries no LastRepair stamp: %+v", rh)
+		}
+	}
+}
+
+// TestUnavailableEnvelope pins the HTTP mapping of ErrUnavailable: a
+// shard with its whole rotation quarantined (or a quorum miss) is a
+// retryable 503 with backoff advice — repair may re-admit replicas a
+// beat later — never a 500.
+func TestUnavailableEnvelope(t *testing.T) {
+	status, body := envelopeFor(fmt.Errorf("shard 1: %w", mstsearch.ErrUnavailable))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", status)
+	}
+	if body.Code != CodeUnavailable || !body.Retryable || body.RetryAfterMS <= 0 {
+		t.Fatalf("body %+v, want retryable unavailable with backoff advice", body)
+	}
+}

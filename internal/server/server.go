@@ -667,15 +667,46 @@ func (s *Server) handleCheckpoint(_ context.Context, _ string, r *http.Request) 
 	return http.StatusOK, &CheckpointResponse{Status: "ok"}, nil
 }
 
+// replicaReporter is the optional Engine facet a replicated cluster
+// implements; /healthz discovers it structurally so the server never
+// has to know which engine it fronts.
+type replicaReporter interface {
+	NumShards() int
+	ReplicaStatuses() []mstsearch.ReplicaStatus
+}
+
 // handleHealth answers liveness without touching the admission ladder or
 // the index: it must stay responsive precisely when the server is
-// saturated.
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, &HealthResponse{
+// saturated. On an engine that reports replica health, the body carries
+// the per-shard/per-replica breakdown and Status degrades to "degraded"
+// when any replica is suspect or quarantined; `?quick=1` keeps the bare
+// three-field contract for probes that poll tightly.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := &HealthResponse{
 		Status:       "ok",
 		Trajectories: s.db.Len(),
 		Segments:     s.db.NumSegments(),
-	})
+	}
+	if rr, ok := s.db.(replicaReporter); ok && r.URL.Query().Get("quick") == "" {
+		resp.Shards = rr.NumShards()
+		for _, st := range rr.ReplicaStatuses() {
+			rh := ReplicaHealth{
+				Shard:        st.Shard,
+				Replica:      st.Replica,
+				State:        st.State,
+				Trajectories: st.Trajectories,
+				LastError:    st.LastError,
+			}
+			if !st.LastRepair.IsZero() {
+				rh.LastRepair = st.LastRepair.UTC().Format(time.RFC3339)
+			}
+			resp.Replicas = append(resp.Replicas, rh)
+			if st.State != "healthy" {
+				resp.Status = "degraded"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 	metHealth.total.Inc()
 }
 

@@ -203,9 +203,28 @@ type CheckpointResponse struct {
 	Status string `json:"status"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. On a replicated cluster Status
+// reflects the worst replica ("ok" → every replica healthy, "degraded"
+// → some replica suspect or quarantined but every shard still answers)
+// and Replicas breaks the verdict down; on a single store both extras
+// are absent. `?quick=1` suppresses the breakdown for probes that only
+// want the bare liveness contract.
 type HealthResponse struct {
-	Status       string `json:"status"`
+	Status       string          `json:"status"`
+	Trajectories int             `json:"trajectories"`
+	Segments     int             `json:"segments"`
+	Shards       int             `json:"shards,omitempty"`
+	Replicas     []ReplicaHealth `json:"replicas,omitempty"`
+}
+
+// ReplicaHealth is one replica's row in the /healthz breakdown.
+type ReplicaHealth struct {
+	Shard        int    `json:"shard"`
+	Replica      int    `json:"replica"`
+	State        string `json:"state"`
 	Trajectories int    `json:"trajectories"`
-	Segments     int    `json:"segments"`
+	LastError    string `json:"last_error,omitempty"`
+	// LastRepair is the RFC 3339 time anti-entropy last re-seeded this
+	// replica; empty if never repaired since open.
+	LastRepair string `json:"last_repair,omitempty"`
 }

@@ -18,13 +18,28 @@
 // trajectories — the property the differential suite enforces at every
 // shard count and placement.
 //
+// # Replication
+//
+// With Options.Replicas = R > 1 every shard is a replica set of R
+// independently durable DBs holding identical content (replica.go).
+// Mutations apply to every rotation member and ack at Options.
+// WriteConcern; reads serve from the preferred healthy replica and fail
+// over to a sibling mid-scatter on replica-attributable errors, keeping
+// merged responses bit-identical to the single-DB oracle while replicas
+// die; a background anti-entropy loop (repair.go) re-seeds quarantined
+// replicas from a healthy sibling. R = 1 (the default) is the PR 8
+// single-DB-per-shard cluster, bit- and layout-compatible.
+//
 // # Durability
 //
 // A durable cluster (Open) gives each shard its own subdirectory with its
 // own WAL and checkpoints — shards fail and recover as independent units —
 // plus an atomically written cluster manifest pinning (kind, shard count,
-// placement) so a directory cannot silently reopen under a different
-// partitioning.
+// placement, replicas) so a directory cannot silently reopen under a
+// different partitioning. With R > 1 each replica journals into its own
+// dir/shard-<i>/replica-<r> subdirectory, so replicas fail and recover
+// independently too; on reopen the fullest replica of each shard is
+// authoritative and lagging siblings are quarantined for re-seeding.
 package shard
 
 import (
@@ -32,6 +47,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	mstsearch "mstsearch"
 )
@@ -43,13 +59,48 @@ type Options struct {
 	// it the exact pruned-shard count — is deterministic for a fixed
 	// Workers value.
 	Workers int
-	// Durable configures every shard's WAL/checkpoint behaviour on a
+
+	// Replicas is the replica count per shard (<= 0 or 1: one DB per
+	// shard, the unreplicated PR 8 layout).
+	Replicas int
+	// WriteConcern is the replica ack threshold for mutations (default
+	// WriteAll). Ignored when Replicas <= 1 effectively (a single
+	// replica always needs its own ack).
+	WriteConcern WriteConcern
+	// HedgeAfter, when > 0, launches a k-MST read on a sibling replica
+	// once the preferred replica has been searching for this long, and
+	// takes the first answer — tail-latency insurance that never changes
+	// results (rotation members hold identical content). Off by default.
+	HedgeAfter time.Duration
+	// RepairInterval, when > 0, runs the background anti-entropy loop at
+	// this period, re-seeding quarantined replicas from healthy siblings
+	// (see Cluster.RepairNow). Off by default; Close stops it.
+	RepairInterval time.Duration
+	// OnRepairEvent, when non-nil, observes every EventReplicaRepair the
+	// repair loop emits (repairs happen outside any query, so they have
+	// no query trace to ride). Called with the cluster lock held; keep it
+	// fast.
+	OnRepairEvent func(mstsearch.TraceEvent)
+
+	// Durable configures every replica's WAL/checkpoint behaviour on a
 	// durable cluster (Open); ignored by New.
 	Durable mstsearch.DurableOptions
-	// ShardDurable, when non-nil, overrides Durable for individual shards
-	// — the seam the crash tests use to aim a PowercutBudget at one
-	// shard's log while its siblings stay healthy.
+	// ShardDurable, when non-nil, overrides Durable for every replica of
+	// individual shards — the seam the crash tests use to aim a
+	// PowercutBudget at one shard's log while its siblings stay healthy.
 	ShardDurable func(shard int) mstsearch.DurableOptions
+	// ReplicaDurable, when non-nil, overrides both for individual
+	// replicas — the finer seam the replica crash tests aim at one
+	// replica's log (including the fresh WAL a repair re-seed opens).
+	ReplicaDurable func(shard, replica int) mstsearch.DurableOptions
+}
+
+// replicas resolves the effective replica count.
+func (o Options) replicas() int {
+	if o.Replicas < 1 {
+		return 1
+	}
+	return o.Replicas
 }
 
 // Cluster is a horizontally sharded trajectory store. Create with New
@@ -57,19 +108,25 @@ type Options struct {
 // the same locking contract as a single DB — queries run in parallel and
 // serialize against mutations.
 type Cluster struct {
-	// Immutable after New/Open: the shard set, placement, and options
-	// never change, so reads need no lock — each shard's own DB.mu
-	// protects its contents.
-	shards []*mstsearch.DB
-	place  Placement
-	kind   mstsearch.IndexKind
-	opts   Options
+	// Immutable after New/Open: the replica-set slice, placement, and
+	// options never change, so reads need no lock — each set carries its
+	// own health lock and each replica DB its own DB.mu.
+	sets  []*replicaSet
+	place Placement
+	kind  mstsearch.IndexKind
+	opts  Options
+	root  string // durable cluster directory ("" = in-memory)
+
+	// Repair-loop plumbing, set once before the cluster is shared.
+	repairCancel context.CancelFunc
+	repairDone   chan struct{}
+	stopRepair   sync.Once
 
 	// mu guards the routing table and gives queries a cluster-wide
 	// snapshot against mutations. It orders the cluster above its
-	// shards: every path takes it before any shard's own lock, and no
-	// shard method ever calls back into the cluster.
-	mu  sync.RWMutex         // lockrank: 5 — held before any shard DB.mu (rank 10)
+	// shards: every path takes it before any replica-set or shard lock,
+	// and no shard method ever calls back into the cluster.
+	mu  sync.RWMutex         // lockrank: 5 — held before replicaSet.mu (8) and any shard DB.mu (10)
 	dir map[mstsearch.ID]int // trajectory → owning shard
 }
 
@@ -82,25 +139,38 @@ func New(kind mstsearch.IndexKind, n int, place Placement, opts Options) (*Clust
 		place = HashPlacement{}
 	}
 	c := &Cluster{
-		shards: make([]*mstsearch.DB, n),
-		place:  place,
-		kind:   kind,
-		opts:   opts,
-		dir:    make(map[mstsearch.ID]int),
+		sets:  make([]*replicaSet, n),
+		place: place,
+		kind:  kind,
+		opts:  opts,
+		dir:   make(map[mstsearch.ID]int),
 	}
-	for i := range c.shards {
-		c.shards[i] = mstsearch.Open(kind)
+	r := opts.replicas()
+	for i := range c.sets {
+		dbs := make([]*mstsearch.DB, r)
+		for j := range dbs {
+			dbs[j] = mstsearch.Open(kind)
+		}
+		c.sets[i] = newReplicaSet(i, dbs, nil)
+	}
+	if opts.RepairInterval > 0 {
+		c.startRepairLoop(opts.RepairInterval)
 	}
 	return c, nil
 }
 
 // Open opens (or creates) a durable cluster in dir: shard i journals into
 // dir/shard-<i> with its own WAL and checkpoints (see mstsearch.
-// OpenDurable), and dir/cluster.json pins (kind, n, placement) so a later
-// Open with different parameters fails with ErrManifestMismatch instead of
-// scattering new writes under a different partitioning. Recovery is
-// per-shard — each shard replays its own log — and the routing table is
-// re-derived from the recovered shards' contents.
+// OpenDurable) — each replica into dir/shard-<i>/replica-<r> when
+// Options.Replicas > 1 — and dir/cluster.json pins (kind, n, placement,
+// replicas) so a later Open with different parameters fails with
+// ErrManifestMismatch instead of scattering new writes under a different
+// partitioning. Recovery is per-replica — each replays its own log — and
+// the routing table is re-derived from each shard's authoritative (most
+// complete) replica. A replica whose directory is damaged (torn
+// mid-log, corrupt snapshot) opens quarantined instead of failing the
+// cluster, as long as one replica of its shard survives; lagging
+// replicas are quarantined the same way and both wait for repair.
 func Open(dir string, kind mstsearch.IndexKind, n int, place Placement, opts Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", n)
@@ -108,38 +178,93 @@ func Open(dir string, kind mstsearch.IndexKind, n int, place Placement, opts Opt
 	if place == nil {
 		place = HashPlacement{}
 	}
-	if err := checkManifest(dir, kind, n, place.Name()); err != nil {
+	r := opts.replicas()
+	if err := checkManifest(dir, kind, n, place.Name(), r); err != nil {
 		return nil, err
 	}
 	c := &Cluster{
-		shards: make([]*mstsearch.DB, n),
-		place:  place,
-		kind:   kind,
-		opts:   opts,
-		dir:    make(map[mstsearch.ID]int),
+		sets:  make([]*replicaSet, n),
+		place: place,
+		kind:  kind,
+		opts:  opts,
+		root:  dir,
+		dir:   make(map[mstsearch.ID]int),
 	}
-	for i := range c.shards {
-		do := opts.Durable
-		if opts.ShardDurable != nil {
-			do = opts.ShardDurable(i)
-		}
-		db, err := mstsearch.OpenDurable(filepath.Join(dir, shardDirName(i)), kind, do)
-		if err != nil {
-			for j := 0; j < i; j++ {
-				c.shards[j].Close()
+	fail := func(err error) (*Cluster, error) {
+		for _, rs := range c.sets {
+			if rs == nil {
+				continue
 			}
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		c.shards[i] = db
-		for _, id := range db.IDs() {
-			if prev, dup := c.dir[id]; dup {
-				for j := 0; j <= i; j++ {
-					c.shards[j].Close()
+			for _, rep := range rs.reps {
+				if rep.db != nil {
+					rep.db.Close()
 				}
-				return nil, fmt.Errorf("%w: trajectory %d recovered on shards %d and %d", mstsearch.ErrDuplicateID, id, prev, i)
+			}
+		}
+		return nil, err
+	}
+	for i := range c.sets {
+		dbs := make([]*mstsearch.DB, r)
+		openErrs := make([]error, r)
+		opened := 0
+		for j := 0; j < r; j++ {
+			db, err := mstsearch.OpenDurable(c.replicaPath(i, j), kind, c.replicaDurable(i, j))
+			if err != nil {
+				// Damage or a storage fault in one replica's directory
+				// quarantines the replica (repair re-seeds it); anything
+				// not replica-attributable (a config mismatch, a plain
+				// I/O failure) fails the open — as does any error when
+				// this is the only copy, checked below.
+				if r > 1 && classify(err) >= obsStrike {
+					openErrs[j] = err
+					continue
+				}
+				return fail(fmt.Errorf("shard %d replica %d: %w", i, j, err))
+			}
+			dbs[j] = db
+			opened++
+		}
+		if opened == 0 {
+			return fail(fmt.Errorf("shard %d: every replica failed to open, first: %w", i, firstError(openErrs)))
+		}
+		c.sets[i] = newReplicaSet(i, dbs, openErrs)
+
+		// Authoritative replica: under the prefix-loss crash model every
+		// surviving replica holds a prefix of the acknowledged mutations,
+		// so the fullest one is authoritative. Lagging siblings leave the
+		// rotation until the repair loop re-seeds them.
+		auth, authTrajs, authSegs := -1, -1, -1
+		for j, db := range dbs {
+			if db == nil {
+				continue
+			}
+			trajs, segs := db.Len(), db.NumSegments()
+			if trajs > authTrajs || (trajs == authTrajs && segs > authSegs) {
+				auth, authTrajs, authSegs = j, trajs, segs
+			}
+		}
+		for j, db := range dbs {
+			if db == nil || j == auth {
+				continue
+			}
+			if db.Len() != authTrajs || db.NumSegments() != authSegs {
+				c.sets[i].markStale(j, fmt.Errorf("mstsearch: replica lags authoritative sibling %d (%d/%d trajectories, %d/%d segments)",
+					auth, db.Len(), authTrajs, db.NumSegments(), authSegs))
+			}
+		}
+		// Quarantine ordering matters for the rotation: auth must end up
+		// preferred. markStale above removes every non-matching lower
+		// index, so pick() now lands on auth (or an identical twin, which
+		// is just as good).
+		for _, id := range dbs[auth].IDs() {
+			if prev, dup := c.dir[id]; dup {
+				return fail(fmt.Errorf("%w: trajectory %d recovered on shards %d and %d", mstsearch.ErrDuplicateID, id, prev, i))
 			}
 			c.dir[id] = i
 		}
+	}
+	if opts.RepairInterval > 0 {
+		c.startRepairLoop(opts.RepairInterval)
 	}
 	return c, nil
 }
@@ -147,14 +272,62 @@ func Open(dir string, kind mstsearch.IndexKind, n int, place Placement, opts Opt
 // shardDirName is shard i's subdirectory under the cluster root.
 func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 
-// NumShards returns the shard count.
-func (c *Cluster) NumShards() int { return len(c.shards) }
+// replicaDirName is replica r's subdirectory under its shard (replicated
+// layouts only).
+func replicaDirName(r int) string { return fmt.Sprintf("replica-%d", r) }
 
-// Shard exposes one shard's DB — the seam tests use to aim fault injection
-// (SetPagerWrapper) or direct inspection at a single shard. Routing
-// through the returned DB directly bypasses the cluster's routing table;
-// mutate through the Cluster instead.
-func (c *Cluster) Shard(i int) *mstsearch.DB { return c.shards[i] }
+// replicaPath is the durable directory of (shard i, replica r). An
+// unreplicated cluster keeps the flat PR 8 layout, so existing
+// directories reopen unchanged.
+func (c *Cluster) replicaPath(i, r int) string {
+	if c.opts.replicas() == 1 {
+		return filepath.Join(c.root, shardDirName(i))
+	}
+	return filepath.Join(c.root, shardDirName(i), replicaDirName(r))
+}
+
+// replicaDurable resolves the durable options for (shard i, replica r):
+// ReplicaDurable wins over ShardDurable wins over Durable.
+func (c *Cluster) replicaDurable(i, r int) mstsearch.DurableOptions {
+	if c.opts.ReplicaDurable != nil {
+		return c.opts.ReplicaDurable(i, r)
+	}
+	if c.opts.ShardDurable != nil {
+		return c.opts.ShardDurable(i)
+	}
+	return c.opts.Durable
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.sets) }
+
+// NumReplicas returns the configured replicas per shard.
+func (c *Cluster) NumReplicas() int { return c.opts.replicas() }
+
+// Shard exposes one shard's preferred (serving) replica DB — the seam
+// tests use to aim fault injection (SetPagerWrapper) or direct inspection
+// at a single shard. Routing through the returned DB directly bypasses
+// the cluster's routing table; mutate through the Cluster instead. Nil
+// only when the whole replica set is quarantined.
+func (c *Cluster) Shard(i int) *mstsearch.DB {
+	_, db := c.sets[i].preferred()
+	return db
+}
+
+// Replica exposes one specific replica's DB (nil when the replica failed
+// to open and awaits repair) — the finer seam replica tests aim faults
+// with.
+func (c *Cluster) Replica(i, r int) *mstsearch.DB { return c.sets[i].db(r) }
+
+// ReplicaStatuses reports every replica's health, shard-major — the
+// /healthz and `mststore cluster-info` surface.
+func (c *Cluster) ReplicaStatuses() []mstsearch.ReplicaStatus {
+	var out []mstsearch.ReplicaStatus
+	for _, rs := range c.sets {
+		out = append(out, rs.statuses()...)
+	}
+	return out
+}
 
 // Placement returns the cluster's placement policy.
 func (c *Cluster) Placement() Placement { return c.place }
@@ -163,32 +336,39 @@ func (c *Cluster) Placement() Placement { return c.place }
 func (c *Cluster) Kind() mstsearch.IndexKind { return c.kind }
 
 // Add validates and stores one trajectory on its placement-assigned shard.
-// On a durable cluster the shard journals (and, under SyncAlways, fsyncs)
-// the trajectory before applying it. Duplicate IDs are refused cluster-
-// wide, not just per shard.
+// On a durable cluster every rotation replica journals (and, under
+// SyncAlways, fsyncs) the trajectory before applying it; the write acks at
+// Options.WriteConcern. Duplicate IDs are refused cluster-wide, not just
+// per shard.
 func (c *Cluster) Add(tr mstsearch.Trajectory) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("mstsearch: %w", err)
 	}
-	target := c.place.Shard(&tr, len(c.shards))
-	if target < 0 || target >= len(c.shards) {
-		return fmt.Errorf("shard: placement %s routed trajectory %d to shard %d of %d", c.place.Name(), tr.ID, target, len(c.shards))
+	target := c.place.Shard(&tr, len(c.sets))
+	if target < 0 || target >= len(c.sets) {
+		return fmt.Errorf("shard: placement %s routed trajectory %d to shard %d of %d", c.place.Name(), tr.ID, target, len(c.sets))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, dup := c.dir[tr.ID]; dup {
 		return fmt.Errorf("%w: %d (on shard %d)", mstsearch.ErrDuplicateID, tr.ID, prev)
 	}
-	if err := c.shards[target].Add(tr); err != nil {
-		return err
+	applied, err := c.sets[target].write(c.opts.WriteConcern, func(db *mstsearch.DB) error {
+		return db.Add(tr)
+	})
+	if applied {
+		// The rotation holds the trajectory even when the quorum was
+		// missed (the failed replicas are quarantined, the acked ones
+		// serve) — the routing table mirrors shard contents, always.
+		c.dir[tr.ID] = target
+		metMutations.Inc()
 	}
-	c.dir[tr.ID] = target
-	metMutations.Inc()
-	return nil
+	return err
 }
 
 // AppendSample extends a stored trajectory on its owning shard (the
-// online maintenance path, journaled on a durable cluster).
+// online maintenance path, journaled on a durable cluster), acking at
+// Options.WriteConcern.
 func (c *Cluster) AppendSample(id mstsearch.ID, s mstsearch.Sample) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -196,11 +376,13 @@ func (c *Cluster) AppendSample(id mstsearch.ID, s mstsearch.Sample) error {
 	if !ok {
 		return fmt.Errorf("mstsearch: unknown trajectory %d", id)
 	}
-	if err := c.shards[i].AppendSample(id, s); err != nil {
-		return err
+	applied, err := c.sets[i].write(c.opts.WriteConcern, func(db *mstsearch.DB) error {
+		return db.AppendSample(id, s)
+	})
+	if applied {
+		metMutations.Inc()
 	}
-	metMutations.Inc()
-	return nil
+	return err
 }
 
 // Get returns a snapshot of a stored trajectory, or nil.
@@ -211,7 +393,11 @@ func (c *Cluster) Get(id mstsearch.ID) *mstsearch.Trajectory {
 	if !ok {
 		return nil
 	}
-	return c.shards[i].Get(id)
+	_, db := c.sets[i].preferred()
+	if db == nil {
+		return nil
+	}
+	return db.Get(id)
 }
 
 // Owner returns the shard holding id, or -1.
@@ -232,59 +418,94 @@ func (c *Cluster) Len() int {
 	return len(c.dir)
 }
 
-// NumSegments returns the total indexed segment count across all shards.
+// NumSegments returns the total indexed segment count across all shards
+// (each shard counted once, via its preferred replica).
 func (c *Cluster) NumSegments() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	n := 0
-	for _, db := range c.shards {
-		n += db.NumSegments()
+	for _, rs := range c.sets {
+		if _, db := rs.preferred(); db != nil {
+			n += db.NumSegments()
+		}
 	}
 	return n
 }
 
-// EnableWarmBuffer switches every shard to a shared warm buffer pool (see
-// mstsearch.DB.EnableWarmBuffer).
+// EnableWarmBuffer switches every replica to a shared warm buffer pool
+// (see mstsearch.DB.EnableWarmBuffer).
 func (c *Cluster) EnableWarmBuffer() {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for _, db := range c.shards {
-		db.EnableWarmBuffer()
+	for _, rs := range c.sets {
+		for r := range rs.reps {
+			if db := rs.db(r); db != nil {
+				db.EnableWarmBuffer()
+			}
+		}
 	}
 }
 
-// Checkpoint folds every shard's WAL into a fresh snapshot (durable
+// Checkpoint folds every replica's WAL into a fresh snapshot (durable
 // clusters only; see mstsearch.DB.Checkpoint).
 func (c *Cluster) Checkpoint() error {
 	return c.CheckpointContext(context.Background())
 }
 
-// CheckpointContext checkpoints every shard under the context, stopping at
-// the first failure. Shards checkpoint independently: a failure on shard i
-// leaves shards < i checkpointed and shards >= i recoverable from their
-// old snapshot + log, exactly as a single DB's aborted checkpoint does.
+// CheckpointContext checkpoints every rotation replica under the context,
+// stopping at the first failure. Replicas checkpoint independently: a
+// failure leaves the earlier ones checkpointed and the later ones
+// recoverable from their old snapshot + log, exactly as a single DB's
+// aborted checkpoint does. Quarantined replicas are skipped — the repair
+// re-seed rewrites their directory wholesale anyway.
 func (c *Cluster) CheckpointContext(ctx context.Context) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for i, db := range c.shards {
-		if err := db.CheckpointContext(ctx); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+	for i, rs := range c.sets {
+		for _, r := range rs.live() {
+			db := rs.db(r)
+			if db == nil {
+				continue
+			}
+			if err := db.CheckpointContext(ctx); err != nil {
+				return fmt.Errorf("shard %d replica %d: %w", i, r, err)
+			}
 		}
 	}
 	return nil
 }
 
-// Close flushes and releases every shard's log; the first error wins but
-// every shard is closed. Safe on an in-memory cluster (no-op) and
-// idempotent.
+// Close stops the repair loop, then flushes and releases every replica's
+// log; the first error wins but every replica is closed. Safe on an
+// in-memory cluster (no-op logs) and idempotent.
 func (c *Cluster) Close() error {
+	c.stopRepairLoop()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var first error
-	for i, db := range c.shards {
-		if err := db.Close(); err != nil && first == nil {
-			first = fmt.Errorf("shard %d: %w", i, err)
+	for i, rs := range c.sets {
+		for r := range rs.reps {
+			db := rs.db(r)
+			if db == nil {
+				continue
+			}
+			if err := db.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard %d replica %d: %w", i, r, err)
+			}
 		}
 	}
 	return first
+}
+
+// emitProfiles folds the failover/hedge profiles of one concurrent stage
+// into the trace (in deterministic shard order) and returns the totals.
+func (c *Cluster) emitProfiles(req mstsearch.Request, csum *mstsearch.TraceSummary, profs []readProfile) (failovers, hedges int) {
+	for i := range profs {
+		for _, ev := range profs[i].events {
+			c.emit(req, csum, ev)
+		}
+		failovers += profs[i].failovers
+		hedges += profs[i].hedges
+	}
+	return failovers, hedges
 }

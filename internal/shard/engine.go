@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,11 +18,15 @@ import (
 func (c *Cluster) Range(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.SegmentHit, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n := len(c.shards)
+	n := len(c.sets)
 	hits := make([][]mstsearch.SegmentHit, n)
 	errs := make([]error, n)
 	runBounded(n, c.workers(), func(i int) {
-		hits[i], errs[i] = c.shards[i].Range(ctx, w, iv)
+		errs[i] = c.sets[i].read(nil, func(db *mstsearch.DB) error {
+			var err error
+			hits[i], err = db.Range(ctx, w, iv)
+			return err
+		})
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -44,11 +49,15 @@ func (c *Cluster) Range(ctx context.Context, w mstsearch.Window, iv mstsearch.In
 func (c *Cluster) Nearest(ctx context.Context, x, y, t float64, k int) ([]mstsearch.Neighbor, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n := len(c.shards)
+	n := len(c.sets)
 	res := make([][]mstsearch.Neighbor, n)
 	errs := make([]error, n)
 	runBounded(n, c.workers(), func(i int) {
-		res[i], errs[i] = c.shards[i].Nearest(ctx, x, y, t, k)
+		errs[i] = c.sets[i].read(nil, func(db *mstsearch.DB) error {
+			var err error
+			res[i], err = db.Nearest(ctx, x, y, t, k)
+			return err
+		})
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -75,11 +84,15 @@ func (c *Cluster) Nearest(ctx context.Context, x, y, t float64, k int) ([]mstsea
 func (c *Cluster) Topology(ctx context.Context, w mstsearch.Window, iv mstsearch.Interval) ([]mstsearch.TopologyResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n := len(c.shards)
+	n := len(c.sets)
 	res := make([][]mstsearch.TopologyResult, n)
 	errs := make([]error, n)
 	runBounded(n, c.workers(), func(i int) {
-		res[i], errs[i] = c.shards[i].Topology(ctx, w, iv)
+		errs[i] = c.sets[i].read(nil, func(db *mstsearch.DB) error {
+			var err error
+			res[i], err = db.Topology(ctx, w, iv)
+			return err
+		})
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -163,15 +176,22 @@ func (c *Cluster) Explain(ctx context.Context, req mstsearch.Request) (*mstsearc
 		Interval:     req.Interval,
 		Trajectories: len(c.dir),
 	}
-	for _, db := range c.shards {
-		rep.Segments += db.NumSegments()
+	for _, rs := range c.sets {
+		if _, db := rs.preferred(); db != nil {
+			rep.Segments += db.NumSegments()
+		}
 	}
 
-	// Aggregate the shards' cost models: workloads add; the corridor
-	// radius is the widest any shard predicts; selectivity is weighted by
-	// each shard's share of the segments.
+	// Aggregate the shards' cost models (each shard's preferred replica
+	// speaks for it): workloads add; the corridor radius is the widest
+	// any shard predicts; selectivity is weighted by each shard's share
+	// of the segments.
 	var selWeighted float64
-	for _, db := range c.shards {
+	for i, rs := range c.sets {
+		_, db := rs.preferred()
+		if db == nil {
+			return nil, fmt.Errorf("shard %d: %w", i, mstsearch.ErrUnavailable)
+		}
 		est, err := db.EstimateQueryCost(req.Q, req.Interval.T1, req.Interval.T2, req.K)
 		if err != nil {
 			return nil, err
@@ -228,8 +248,8 @@ func (c *Cluster) workers() int {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > len(c.shards) {
-		w = len(c.shards)
+	if w > len(c.sets) {
+		w = len(c.sets)
 	}
 	return w
 }

@@ -26,6 +26,9 @@ type manifest struct {
 	KindName  string `json:"kind_name"` // informational; Kind decides
 	Shards    int    `json:"shards"`
 	Placement string `json:"placement"`
+	// Replicas is the replica count per shard; 0 (a pre-replication
+	// manifest) reads as 1.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 const manifestVersion = 1
@@ -33,7 +36,7 @@ const manifestVersion = 1
 // checkManifest loads dir's manifest and verifies it against the requested
 // parameters, writing a fresh manifest (atomically: temp file, fsync,
 // rename, directory fsync) when none exists yet.
-func checkManifest(dir string, kind mstsearch.IndexKind, n int, placement string) error {
+func checkManifest(dir string, kind mstsearch.IndexKind, n int, placement string, replicas int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -46,6 +49,9 @@ func checkManifest(dir string, kind mstsearch.IndexKind, n int, placement string
 			KindName:  kind.String(),
 			Shards:    n,
 			Placement: placement,
+		}
+		if replicas > 1 {
+			m.Replicas = replicas
 		}
 		buf, err := json.MarshalIndent(m, "", "  ")
 		if err != nil {
@@ -63,23 +69,53 @@ func checkManifest(dir string, kind mstsearch.IndexKind, n int, placement string
 	if m.Version != manifestVersion {
 		return fmt.Errorf("%w: manifest version %d, supported %d", ErrManifestMismatch, m.Version, manifestVersion)
 	}
-	if m.Kind != int(kind) || m.Shards != n || m.Placement != placement {
-		return fmt.Errorf("%w: directory holds kind=%s shards=%d placement=%s, requested kind=%s shards=%d placement=%s",
-			ErrManifestMismatch, mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, kind, n, placement)
+	if m.Replicas < 1 {
+		m.Replicas = 1
+	}
+	if m.Kind != int(kind) || m.Shards != n || m.Placement != placement || m.Replicas != replicas {
+		return fmt.Errorf("%w: directory holds kind=%s shards=%d placement=%s replicas=%d, requested kind=%s shards=%d placement=%s replicas=%d",
+			ErrManifestMismatch, mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, m.Replicas, kind, n, placement, replicas)
 	}
 	return nil
 }
 
 // ReadManifest reports the partitioning a durable cluster directory was
-// created with — the `mststore cluster-info` surface.
-func ReadManifest(dir string) (kind mstsearch.IndexKind, n int, placement string, err error) {
+// created with — the `mststore cluster-info` surface. replicas is always
+// >= 1 (pre-replication manifests read as 1).
+func ReadManifest(dir string) (kind mstsearch.IndexKind, n int, placement string, replicas int, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		return 0, 0, "", err
+		return 0, 0, "", 0, err
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return 0, 0, "", fmt.Errorf("%w: unreadable %s: %v", ErrManifestMismatch, manifestName, err)
+		return 0, 0, "", 0, fmt.Errorf("%w: unreadable %s: %v", ErrManifestMismatch, manifestName, err)
 	}
-	return mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, nil
+	if m.Replicas < 1 {
+		m.Replicas = 1
+	}
+	return mstsearch.IndexKind(m.Kind), m.Shards, m.Placement, m.Replicas, nil
+}
+
+// StoreDirs lists the leaf store directories of a durable cluster rooted
+// at dir — each one an independent OpenDurable directory with its own
+// snapshot and WAL — in (shard, replica) order. This is the walk surface
+// for offline tools (`mststore verify`) that must scrub every replica,
+// not just the one a live cluster would prefer.
+func StoreDirs(dir string) ([]string, error) {
+	_, n, _, replicas, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n*replicas)
+	for i := 0; i < n; i++ {
+		if replicas == 1 {
+			out = append(out, filepath.Join(dir, shardDirName(i)))
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			out = append(out, filepath.Join(dir, shardDirName(i), replicaDirName(r)))
+		}
+	}
+	return out, nil
 }

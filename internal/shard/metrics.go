@@ -10,4 +10,10 @@ var (
 	metFanout       = obs.Default.Histogram("shard.fanout", obs.FanoutBounds)
 	metPruned       = obs.Default.Histogram("shard.pruned", obs.FanoutBounds)
 	metMergeResults = obs.Default.Histogram("shard.merge.results", obs.FanoutBounds)
+
+	// Replica-set health and failover accounting (replica.go, repair.go).
+	metFailovers   = obs.Default.Counter("shard.replica.failovers")
+	metHedges      = obs.Default.Counter("shard.replica.hedges")
+	metQuarantines = obs.Default.Counter("shard.replica.quarantines")
+	metRepairs     = obs.Default.Counter("shard.replica.repairs")
 )

@@ -89,30 +89,32 @@ func TestPlacementByName(t *testing.T) {
 
 func TestManifestRoundTripAndMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if err := checkManifest(dir, mstsearch.RTree3D, 4, "hash"); err != nil {
+	if err := checkManifest(dir, mstsearch.RTree3D, 4, "hash", 1); err != nil {
 		t.Fatalf("create: %v", err)
 	}
-	if err := checkManifest(dir, mstsearch.RTree3D, 4, "hash"); err != nil {
+	if err := checkManifest(dir, mstsearch.RTree3D, 4, "hash", 1); err != nil {
 		t.Fatalf("matching reopen: %v", err)
 	}
-	kind, n, placement, err := ReadManifest(dir)
+	kind, n, placement, replicas, err := ReadManifest(dir)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
-	if kind != mstsearch.RTree3D || n != 4 || placement != "hash" {
-		t.Fatalf("manifest round-trip gave kind=%v n=%d placement=%q", kind, n, placement)
+	if kind != mstsearch.RTree3D || n != 4 || placement != "hash" || replicas != 1 {
+		t.Fatalf("manifest round-trip gave kind=%v n=%d placement=%q replicas=%d", kind, n, placement, replicas)
 	}
 	for _, bad := range []struct {
 		kind      mstsearch.IndexKind
 		n         int
 		placement string
+		replicas  int
 	}{
-		{mstsearch.TBTree, 4, "hash"},
-		{mstsearch.RTree3D, 5, "hash"},
-		{mstsearch.RTree3D, 4, "spatial"},
+		{mstsearch.TBTree, 4, "hash", 1},
+		{mstsearch.RTree3D, 5, "hash", 1},
+		{mstsearch.RTree3D, 4, "spatial", 1},
+		{mstsearch.RTree3D, 4, "hash", 2},
 	} {
-		if err := checkManifest(dir, bad.kind, bad.n, bad.placement); !errors.Is(err, ErrManifestMismatch) {
-			t.Fatalf("checkManifest(%v, %d, %q) = %v, want ErrManifestMismatch", bad.kind, bad.n, bad.placement, err)
+		if err := checkManifest(dir, bad.kind, bad.n, bad.placement, bad.replicas); !errors.Is(err, ErrManifestMismatch) {
+			t.Fatalf("checkManifest(%v, %d, %q, %d) = %v, want ErrManifestMismatch", bad.kind, bad.n, bad.placement, bad.replicas, err)
 		}
 	}
 }

@@ -26,6 +26,12 @@ type QueryStats struct {
 	// PerShard holds the per-shard search stats, indexed by shard; nil
 	// entries are pruned shards.
 	PerShard []*mstsearch.SearchStats
+	// Failovers counts replica hand-offs during this query (a replica
+	// erred mid-scatter and a sibling answered instead); Hedges counts
+	// hedged second attempts launched past Options.HedgeAfter. Both are
+	// zero on an unreplicated cluster.
+	Failovers int
+	Hedges    int
 }
 
 // Query answers one k-MST request against the whole cluster. Under exact
@@ -52,7 +58,7 @@ func (c *Cluster) QueryShards(ctx context.Context, req mstsearch.Request) (mstse
 // queryLocked runs the scatter-gather; callers must hold c.mu (shared
 // with the batch executor, which holds the read lock across all slots).
 func (c *Cluster) queryLocked(ctx context.Context, req mstsearch.Request) (mstsearch.Response, QueryStats, error) {
-	n := len(c.shards)
+	n := len(c.sets)
 	workers := c.workers()
 	k := req.K
 	if k < 1 {
@@ -63,16 +69,25 @@ func (c *Cluster) queryLocked(ctx context.Context, req mstsearch.Request) (mstse
 	if req.Options.Trace != nil {
 		csum = &mstsearch.TraceSummary{ByKind: make(map[mstsearch.EventKind]int)}
 	}
+	failovers, hedges := 0, 0
 
 	// Stage 1 — bounds: one root-page read per shard gives a certified
-	// lower bound on every trajectory the shard stores. Errors surface
+	// lower bound on every trajectory the shard stores, served by the
+	// shard's preferred replica with transparent failover. Errors surface
 	// deterministically (lowest shard index wins), exactly as a single-DB
 	// query would surface its root read error.
 	bounds := make([]float64, n)
 	errs := make([]error, n)
+	boundProfs := make([]readProfile, n)
 	runBounded(n, workers, func(i int) {
-		bounds[i], errs[i] = c.shards[i].QueryLowerBound(ctx, req)
+		errs[i] = c.sets[i].read(&boundProfs[i], func(db *mstsearch.DB) error {
+			var err error
+			bounds[i], err = db.QueryLowerBound(ctx, req)
+			return err
+		})
 	})
+	fo, he := c.emitProfiles(req, csum, boundProfs)
+	failovers, hedges = failovers+fo, hedges+he
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			return mstsearch.Response{}, QueryStats{}, errs[i]
@@ -132,14 +147,17 @@ func (c *Cluster) queryLocked(ctx context.Context, req mstsearch.Request) (mstse
 			})
 		}
 		waveErrs := make([]error, len(wave))
+		waveProfs := make([]readProfile, len(wave))
 		runBounded(len(wave), workers, func(j int) {
-			r, err := c.shards[wave[j]].Query(ctx, req)
+			r, err := c.sets[wave[j]].runQuery(ctx, req, c.opts.HedgeAfter, &waveProfs[j])
 			if err != nil {
 				waveErrs[j] = err
 				return
 			}
 			resps[wave[j]] = &r
 		})
+		fo, he := c.emitProfiles(req, csum, waveProfs)
+		failovers, hedges = failovers+fo, hedges+he
 		// Deterministic error surfacing: lowest shard index in the wave.
 		errShard, errIdx := n, -1
 		for j, err := range waveErrs {
@@ -160,6 +178,8 @@ func (c *Cluster) queryLocked(ctx context.Context, req mstsearch.Request) (mstse
 	}
 
 	resp, stats := c.merge(k, bounds, resps, csum, queried, pruned)
+	stats.Failovers = failovers
+	stats.Hedges = hedges
 	metFanout.Observe(float64(queried))
 	metPruned.Observe(float64(pruned))
 	metMergeResults.Observe(float64(len(resp.Results)))

@@ -212,7 +212,12 @@ func (p *PowercutFile) crash(dropUnsynced bool) error {
 		return err
 	}
 	if dropUnsynced && p.synced < p.written {
-		return os.Truncate(p.path, p.synced)
+		// The path may be gone by crash time — a repair re-seed wipes a
+		// replica directory wholesale — and a deleted file has no
+		// unsynced tail left to drop.
+		if err := os.Truncate(p.path, p.synced); err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
 	return nil
 }

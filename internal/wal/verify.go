@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// VerifySegment re-reads one segment file, checking the header and every
+// frame CRC without repairing or truncating anything — the read-only
+// counterpart of the replay path that the offline scrubber (`mststore
+// verify`) walks the log with. frames counts the decodable records; torn
+// reports a tail cut short mid-append, which recovery tolerates if and
+// only if this is the log's final segment (pass last accordingly); err
+// is ErrWALCorrupt-wrapped damage that replay would refuse to cross.
+func VerifySegment(path string, epoch, seq uint32, last bool) (frames int, torn bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(raw) < headerSize || [8]byte(raw[:8]) != segmentMagic ||
+		binary.LittleEndian.Uint32(raw[8:12]) != epoch ||
+		binary.LittleEndian.Uint32(raw[12:16]) != seq {
+		// Same classification as replay: a bad or short header on the
+		// final segment is a torn segment creation unless decodable
+		// frames follow it.
+		if last && !decodableFrameAfter(raw, 0) {
+			return 0, true, nil
+		}
+		return 0, false, fmt.Errorf("%w: %s: bad segment header", ErrWALCorrupt, filepath.Base(path))
+	}
+	off := headerSize
+	for off < len(raw) {
+		_, n, derr := DecodeFrame(raw[off:])
+		if derr != nil {
+			if !last {
+				return frames, false, fmt.Errorf("%w: %s at offset %d: %v", ErrWALCorrupt, filepath.Base(path), off, derr)
+			}
+			if errors.Is(derr, errFrameBad) && decodableFrameAfter(raw, off) {
+				return frames, false, fmt.Errorf("%w: %s at offset %d: damaged frame before valid records", ErrWALCorrupt, filepath.Base(path), off)
+			}
+			return frames, true, nil
+		}
+		frames++
+		off += n
+	}
+	return frames, false, nil
+}

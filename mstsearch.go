@@ -164,6 +164,8 @@ const (
 	EventRefineDone        = mst.EventRefineDone
 	EventShardScatter      = mst.EventShardScatter
 	EventShardPrune        = mst.EventShardPrune
+	EventReplicaFailover   = mst.EventReplicaFailover
+	EventReplicaRepair     = mst.EventReplicaRepair
 )
 
 // Metric selects the distance function of a k-nearest query (the

@@ -1,0 +1,60 @@
+package mstsearch
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Replication primitives. The replica sets themselves live in
+// internal/shard — each shard of a replicated cluster holds R
+// independently durable DBs — but the vocabulary they speak (the
+// unavailability sentinel, the status view, the re-seed operation) is
+// part of the library surface so the serving layer can report replica
+// health and map failures onto its envelope taxonomy without importing
+// the cluster implementation.
+
+// ErrUnavailable reports an operation that found no healthy replica to
+// serve it: every copy of the addressed data is quarantined, or a write
+// could not reach its configured ack quorum. Retryable — the anti-entropy
+// repair loop re-admits replicas as it re-seeds them.
+var ErrUnavailable = errors.New("mstsearch: no healthy replica available")
+
+// ReplicaStatus is the health of one replica of a replicated shard, as
+// reported by the cluster layer (and served by GET /healthz).
+type ReplicaStatus struct {
+	// Shard and Replica locate the replica within the cluster.
+	Shard   int
+	Replica int
+	// State is the health state machine's current state: "healthy",
+	// "suspect", or "quarantined".
+	State string
+	// Trajectories is the replica's stored trajectory count (0 when the
+	// replica failed to open and awaits repair).
+	Trajectories int
+	// LastError is the observation that drove the last state transition,
+	// empty for a healthy replica.
+	LastError string
+	// LastRepair is when the repair loop last re-seeded this replica
+	// (zero if never).
+	LastRepair time.Time
+}
+
+// CloneDurable seeds dir with an atomic snapshot of the database and
+// opens a fresh durable DB of the same kind on top of it — the re-seed
+// half of replica repair. The snapshot is written as checkpoint epoch 1
+// (temp file, fsync, rename, directory fsync), so the clone recovers
+// through the ordinary durable state machine: a crash mid-clone leaves
+// either no snapshot (the clone never happened) or a complete one plus a
+// possibly-torn fresh log. The source DB is snapshotted under its read
+// lock and is not otherwise touched.
+func (db *DB) CloneDurable(dir string, o DurableOptions) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := db.Save(filepath.Join(dir, snapshotName(1))); err != nil {
+		return nil, err
+	}
+	return OpenDurable(dir, db.Kind(), o)
+}

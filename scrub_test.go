@@ -1,0 +1,199 @@
+package mstsearch_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mstsearch "mstsearch"
+)
+
+// Scrubber differential suite: ScrubStore must bless exactly the
+// directories recovery would replay losslessly, flag exactly the damage
+// recovery would refuse, and classify a torn tail (recoverable) apart
+// from mid-log corruption (not). Each case builds a real store, injures
+// it the way the scenario describes, and checks the report.
+
+// buildScrubStore writes a durable store with one snapshot and a live
+// WAL holding post-checkpoint mutations, then closes it.
+func buildScrubStore(t *testing.T, dir string) {
+	t.Helper()
+	db, err := mstsearch.OpenDurable(dir, mstsearch.RTree3D, mstsearch.DurableOptions{
+		SegmentBytes:    512,
+		CheckpointBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	trajs := mstsearch.FleetForTest(rng, 8, 12)
+	for i := range trajs {
+		if err := db.Add(trajs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint appends live only in the WAL — the bytes the
+	// scrubber's frame walk must cover.
+	for i := range trajs {
+		if err := db.AppendSample(trajs[i].ID, mstsearch.Sample{X: float64(i), Y: 1, T: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scrubFiles returns the store's snapshot and live-WAL segment names.
+func scrubFiles(t *testing.T, dir string) (snaps, segs []string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		switch {
+		case strings.HasPrefix(e.Name(), "snapshot-"):
+			snaps = append(snaps, e.Name())
+		case strings.HasPrefix(e.Name(), "wal-"):
+			segs = append(segs, e.Name())
+		}
+	}
+	return snaps, segs
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	buildScrubStore(t, dir)
+	rep, err := mstsearch.ScrubStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("clean store reported damage: %+v", rep.Findings)
+	}
+	if rep.Snapshots == 0 || rep.WALSegments == 0 || rep.WALFrames == 0 {
+		t.Fatalf("clean store verified nothing: %+v", rep)
+	}
+	if rep.TornTail {
+		t.Fatal("clean store reported a torn tail")
+	}
+}
+
+func TestScrubFlagsWALCorruption(t *testing.T) {
+	dir := t.TempDir()
+	buildScrubStore(t, dir)
+	_, segs := scrubFiles(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("store has no WAL segments")
+	}
+	// Flip a byte just past the first segment's header: mid-log damage,
+	// with decodable frames after it, so recovery could not dismiss it as
+	// a torn tail.
+	seg := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 32 {
+		t.Fatalf("segment %s too short to corrupt meaningfully (%d bytes)", segs[0], len(data))
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mstsearch.ScrubStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged() {
+		t.Fatal("scrub blessed a store with a corrupt WAL frame")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.File == segs[0] && f.Problem != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings %+v do not name the corrupt segment %s", rep.Findings, segs[0])
+	}
+}
+
+func TestScrubToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	buildScrubStore(t, dir)
+	_, segs := scrubFiles(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("store has no WAL segments")
+	}
+	// Cut the final segment mid-frame: the torn write recovery truncates
+	// away. The scrubber must report it as recoverable, not as damage.
+	last := filepath.Join(dir, segs[len(segs)-1])
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < 24 {
+		t.Fatalf("final segment too short to tear (%d bytes)", st.Size())
+	}
+	if err := os.Truncate(last, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mstsearch.ScrubStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("torn tail misreported as damage: %+v", rep.Findings)
+	}
+	if !rep.TornTail {
+		t.Fatal("scrub did not notice the torn tail")
+	}
+}
+
+func TestScrubFlagsSnapshotCorruption(t *testing.T) {
+	dir := t.TempDir()
+	buildScrubStore(t, dir)
+	snaps, _ := scrubFiles(t, dir)
+	if len(snaps) == 0 {
+		t.Fatal("store has no snapshots")
+	}
+	snap := filepath.Join(dir, snaps[0])
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mstsearch.ScrubStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged() {
+		t.Fatal("scrub blessed a store with a corrupt snapshot")
+	}
+	if rep.Findings[0].File != snaps[0] {
+		t.Fatalf("finding %+v does not name the snapshot", rep.Findings[0])
+	}
+}
+
+func TestScrubRefusesUnrecognizableDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mstsearch.ScrubStore(dir); err == nil {
+		t.Fatal("scrub blessed a directory with no snapshots or WAL")
+	}
+	if _, err := mstsearch.ScrubStore(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("scrub blessed a missing directory")
+	}
+}

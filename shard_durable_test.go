@@ -293,9 +293,9 @@ func TestClusterManifestGuard(t *testing.T) {
 	if err != nil {
 		t.Fatalf("matching reopen: %v", err)
 	}
-	kind, n, placement, err := shard.ReadManifest(dir)
-	if err != nil || kind != mstsearch.RTree3D || n != 3 || placement != "hash" {
-		t.Fatalf("manifest reads back (%v, %d, %q, %v)", kind, n, placement, err)
+	kind, n, placement, replicas, err := shard.ReadManifest(dir)
+	if err != nil || kind != mstsearch.RTree3D || n != 3 || placement != "hash" || replicas != 1 {
+		t.Fatalf("manifest reads back (%v, %d, %q, %d, %v)", kind, n, placement, replicas, err)
 	}
 	c.Close()
 }
